@@ -1,0 +1,75 @@
+//! Criterion bench for end-to-end IVF query latency: IVF-RaBitQ with
+//! error-bound re-ranking vs IVF-OPQ fast scan with fixed re-ranking vs
+//! HNSW — the per-query cost behind Figure 4's QPS axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rabitq_core::RabitqConfig;
+use rabitq_data::registry::PaperDataset;
+use rabitq_hnsw::{Hnsw, HnswConfig};
+use rabitq_ivf::{IvfConfig, IvfPq, IvfRabitq, ScanMode};
+use rabitq_pq::PqConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ivf_search(c: &mut Criterion) {
+    let n = 10_000;
+    let ds = PaperDataset::Sift.generate(n, 8, 42);
+    let ivf_cfg = IvfConfig::new(IvfConfig::clusters_for(n));
+    let k = 100;
+    let nprobe = 16;
+
+    let mut group = c.benchmark_group("ivf-search/sift-like-10k");
+
+    let rabitq = IvfRabitq::build(&ds.data, ds.dim, &ivf_cfg, RabitqConfig::default());
+    group.bench_function("ivf-rabitq/nprobe=16", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries();
+            rabitq.search(ds.query(qi), k, nprobe, &mut rng).neighbors.len()
+        })
+    });
+
+    let pq_cfg = PqConfig {
+        m: ds.dim / 2,
+        k_bits: 4,
+        train_iters: 8,
+        training_sample: Some(8_000),
+        seed: 42,
+    };
+    let opq = IvfPq::build(&ds.data, ds.dim, &ivf_cfg, &pq_cfg, true);
+    group.bench_function("ivf-opqx4fs/nprobe=16,rerank=500", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries();
+            opq.search(ds.query(qi), k, nprobe, 500, ScanMode::FastScanBatch)
+                .neighbors
+                .len()
+        })
+    });
+
+    let hnsw = Hnsw::build(
+        &ds.data,
+        ds.dim,
+        HnswConfig {
+            m: 16,
+            ef_construction: 200,
+            seed: 42,
+        },
+    );
+    group.bench_function("hnsw/efSearch=160", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            qi = (qi + 1) % ds.n_queries();
+            hnsw.search(ds.query(qi), k, 160).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ivf_search
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benches for the distance-estimation kernels backing
+//! Figure 3: single-code bitwise AND+popcount vs the 32-code fast-scan
+//! (portable scalar and runtime-dispatched SIMD).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rabitq_core::fastscan::{raw, Lut, PackedCodes, BLOCK};
+use rabitq_core::kernels::ip_code_query;
+use rabitq_core::{CodeSet, QuantizedQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(padded_dim: usize, n: usize) -> (CodeSet, PackedCodes, QuantizedQuery, Lut) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut set = CodeSet::new(padded_dim);
+    let words = padded_dim / 64;
+    for _ in 0..n {
+        let code: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+        set.push(&code, 1.0, 0.8);
+    }
+    let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded_dim);
+    let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+    let lut = Lut::build(&query);
+    let packed = PackedCodes::pack(&set);
+    (set, packed, query, lut)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for &dim in &[128usize, 960] {
+        let n = 1024;
+        let (set, packed, query, lut) = setup(dim, n);
+        let mut group = c.benchmark_group(format!("ip-kernels/D={dim}"));
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_function(BenchmarkId::new("bitwise-single", n), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..n {
+                    acc = acc.wrapping_add(ip_code_query(set.code_bits(i), &query));
+                }
+                acc
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("fastscan-dispatch", n), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                packed.scan_all(&lut, &mut out);
+                out.iter().copied().sum::<u32>()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("fastscan-scalar", n), |b| {
+            // Force the portable path through the raw scalar kernel.
+            let mut lut_bytes = vec![0u8; (dim / 4) * 16];
+            for (i, b8) in lut_bytes.iter_mut().enumerate() {
+                *b8 = (i % 61) as u8;
+            }
+            let blocks = raw::pack_nibbles(n, dim / 4, |i, s| {
+                let bit = s * 4;
+                ((set.code_bits(i)[bit / 64] >> (bit % 64)) & 0xF) as u8
+            });
+            let mut out = [0u32; BLOCK];
+            b.iter(|| {
+                let mut acc = 0u32;
+                for blk in 0..n / BLOCK {
+                    let base = blk * (dim / 4) * 16;
+                    raw::scan_u8_scalar(
+                        &blocks[base..base + (dim / 4) * 16],
+                        &lut_bytes,
+                        dim / 4,
+                        &mut out,
+                    );
+                    acc = acc.wrapping_add(out.iter().sum::<u32>());
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the PQ baselines' scan kernels: the x8 in-RAM
+//! f32-LUT scan vs the x4 u8-LUT fast scan — the efficiency gap that made
+//! fast scan "an important component in many popular libraries"
+//! (Section 2 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rabitq_pq::{PqConfig, PqPacked, ProductQuantizer, QuantizedLuts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pq_adc(c: &mut Criterion) {
+    let dim = 128usize;
+    let n = 1024usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+    let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+
+    let mut group = c.benchmark_group(format!("pq-adc/D={dim}"));
+    group.throughput(Throughput::Elements(n as u64));
+
+    // ---- x8-single: M = D/2, 8-bit codes, f32 LUTs in RAM. ----
+    let cfg8 = PqConfig {
+        m: dim / 2,
+        k_bits: 8,
+        train_iters: 8,
+        training_sample: Some(1024),
+        seed: 1,
+    };
+    let pq8 = ProductQuantizer::train(&data, dim, &cfg8);
+    let codes8 = pq8.encode_set(data.chunks_exact(dim));
+    let luts8 = pq8.build_luts(&query);
+    group.bench_function(BenchmarkId::new("x8-single-f32lut", n), |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..n {
+                acc += pq8.adc_distance(&luts8, codes8.code(i));
+            }
+            acc
+        })
+    });
+
+    // ---- x4fs-batch: M = D/2, 4-bit codes, u8 LUTs via fast scan. ----
+    let cfg4 = PqConfig {
+        m: dim / 2,
+        k_bits: 4,
+        train_iters: 8,
+        training_sample: Some(1024),
+        seed: 1,
+    };
+    let pq4 = ProductQuantizer::train(&data, dim, &cfg4);
+    let codes4 = pq4.encode_set(data.chunks_exact(dim));
+    let packed = PqPacked::pack(&codes4);
+    let qluts = QuantizedLuts::build(&pq4, &query);
+    group.bench_function(BenchmarkId::new("x4fs-batch-u8lut", n), |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            packed.scan_all(&qluts, &mut out);
+            out.iter().sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pq_adc
+}
+criterion_main!(benches);

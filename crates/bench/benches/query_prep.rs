@@ -1,0 +1,33 @@
+//! Criterion benches for per-bucket query preparation: randomized scalar
+//! quantization of the rotated residual plus fast-scan LUT construction —
+//! the O(B) work each probed IVF bucket pays (Section 3.3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rabitq_core::{Lut, QuantizedQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_query_prep(c: &mut Criterion) {
+    for &dim in &[128usize, 960] {
+        let mut group = c.benchmark_group(format!("query-prep/D={dim}"));
+        let mut rng = StdRng::seed_from_u64(5);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+
+        group.bench_function(BenchmarkId::new("quantize-bq4", dim), |b| {
+            b.iter(|| QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng).sum_qu)
+        });
+
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        group.bench_function(BenchmarkId::new("lut-build", dim), |b| {
+            b.iter(|| Lut::build(&query).segments())
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_query_prep
+}
+criterion_main!(benches);

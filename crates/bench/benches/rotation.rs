@@ -1,0 +1,37 @@
+//! Criterion benches for the two rotator constructions: the paper's dense
+//! Haar-orthogonal matrix (O(D²)) vs the randomized-Hadamard JLT
+//! (O(D log D)) used by production ports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rabitq_core::{Rotator, RotatorKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rotation(c: &mut Criterion) {
+    for &dim in &[128usize, 960] {
+        let mut group = c.benchmark_group(format!("rotation/D={dim}"));
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        for (name, kind) in [
+            ("dense", RotatorKind::DenseOrthogonal),
+            ("hadamard", RotatorKind::RandomizedHadamard),
+        ] {
+            let rot = Rotator::sample(kind, dim, None, 11);
+            let mut out = vec![0.0f32; rot.padded_dim()];
+            group.bench_function(BenchmarkId::new(name, dim), |b| {
+                b.iter(|| {
+                    rot.rotate(&input, &mut out);
+                    out[0]
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_rotation
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! **Figure 1 (right panel)** — concentration of the projection of the
+//! quantized vector `ō` onto the plane spanned by `o` and `q`.
+//!
+//! The paper fixes a pair `o, q` in D = 128 and resamples the random
+//! orthogonal matrix `P` 10⁵ times, plotting `(⟨ō,o⟩, ⟨ō,e₁⟩)`. Two
+//! samplers are used here and must agree:
+//!
+//! * `matrix` — the literal protocol: sample `P`, encode `o`, measure.
+//! * `sphere` — the rotation-invariance shortcut: `P⁻¹o` is uniform on the
+//!   sphere and `P⁻¹e₁` is uniform on the subsphere orthogonal to it, so
+//!   the pair can be sampled directly in O(D). This is what makes 10⁵
+//!   samples cheap.
+//!
+//! Expected (Section 3.2.1): `⟨ō,o⟩` concentrated around 0.8, `⟨ō,e₁⟩`
+//! symmetric around 0 with spread `O(1/√D)`.
+
+use rabitq_bench::{Args, Table};
+use rabitq_core::{Rabitq, RabitqConfig};
+use rabitq_math::rng::standard_normal_vec;
+use rabitq_math::special::expected_code_alignment;
+use rabitq_math::vecs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let dim = args.usize("dim", 128);
+    let sphere_samples = args.usize("samples", 100_000);
+    let matrix_samples = args.usize("matrix-samples", 2_000);
+    let seed = args.u64("seed", 42);
+
+    println!("# Figure 1 (right): concentration of (⟨ō,o⟩, ⟨ō,e1⟩), D = {dim}");
+    println!("# sphere sampler: {sphere_samples} samples; matrix sampler: {matrix_samples} samples\n");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- Sphere sampler. ---
+    let mut stats_fast = Moments2::default();
+    for _ in 0..sphere_samples {
+        // u = P⁻¹o uniform on S^{D−1}.
+        let mut u = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut u);
+        // w = P⁻¹e₁ uniform on the subsphere orthogonal to u.
+        let mut w = standard_normal_vec(&mut rng, dim);
+        let proj = vecs::dot(&w, &u);
+        vecs::axpy(-proj, &u, &mut w);
+        vecs::normalize(&mut w);
+        // x̄ = sign(u)/√D; ⟨ō,o⟩ = ⟨x̄,u⟩ = ‖u‖₁/√D; ⟨ō,e₁⟩ = ⟨x̄,w⟩.
+        let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
+        let ip_oo = (vecs::l1_norm_f64(&u) * inv_sqrt_d as f64) as f32;
+        let ip_e1: f32 = u
+            .iter()
+            .zip(w.iter())
+            .map(|(&ui, &wi)| if ui >= 0.0 { wi } else { -wi })
+            .sum::<f32>()
+            * inv_sqrt_d;
+        stats_fast.push(ip_oo as f64, ip_e1 as f64);
+    }
+
+    // --- Matrix sampler (literal protocol, fewer samples). ---
+    let o = {
+        let mut v = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut v);
+        v
+    };
+    let q = {
+        let mut v = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut v);
+        v
+    };
+    // e₁ = (q − ⟨q,o⟩o) normalized (Lemma 3.1).
+    let mut e1 = q.clone();
+    let qo = vecs::dot(&q, &o);
+    vecs::axpy(-qo, &o, &mut e1);
+    vecs::normalize(&mut e1);
+
+    let mut stats_matrix = Moments2::default();
+    for s in 0..matrix_samples {
+        let cfg = RabitqConfig {
+            seed: seed.wrapping_add(s as u64).wrapping_mul(0x9E37_79B9),
+            padded_dim: Some(dim),
+            ..RabitqConfig::default()
+        };
+        let quantizer = Rabitq::new(dim, cfg);
+        let zero = vec![0.0f32; dim];
+        let codes = quantizer.encode_set(std::iter::once(o.as_slice()), &zero);
+        // ō = P·x̄; ⟨ō, v⟩ = ⟨x̄, P⁻¹v⟩.
+        let xbar = codes.reconstruct_rotated(0);
+        let rot_o = quantizer.rotate(&o);
+        let rot_e1 = quantizer.rotate(&e1);
+        let ip_oo = vecs::dot(&xbar, &rot_o);
+        let ip_e1 = vecs::dot(&xbar, &rot_e1);
+        stats_matrix.push(ip_oo as f64, ip_e1 as f64);
+    }
+
+    let theory = expected_code_alignment(dim);
+    let mut table = Table::new(&[
+        "sampler",
+        "E[<o-bar,o>]",
+        "std",
+        "E[<o-bar,e1>]",
+        "std",
+    ]);
+    for (name, st) in [("sphere (fast)", &stats_fast), ("matrix (literal)", &stats_matrix)] {
+        table.row(&[
+            name.to_string(),
+            format!("{:.4}", st.mean_x()),
+            format!("{:.4}", st.std_x()),
+            format!("{:+.4}", st.mean_y()),
+            format!("{:.4}", st.std_y()),
+        ]);
+    }
+    table.row(&[
+        "theory".to_string(),
+        format!("{theory:.4}"),
+        format!("O(1/sqrt(D)) = {:.4}", 1.0 / (dim as f64).sqrt()),
+        "0.0000".to_string(),
+        format!("~1/sqrt(D) = {:.4}", 1.0 / (dim as f64).sqrt()),
+    ]);
+    table.print();
+
+    // ASCII density of the point cloud, mirroring the scatter plot.
+    println!("\nPoint-cloud density (x: <o-bar,o> in [0.7,0.9], y: <o-bar,e1> in [-0.15,0.15]):");
+    render_cloud(&stats_fast.samples, 0.7, 0.9, -0.15, 0.15);
+}
+
+/// Streaming 2-D moments plus retained samples for the ASCII plot.
+#[derive(Default)]
+struct Moments2 {
+    n: u64,
+    sx: f64,
+    sxx: f64,
+    sy: f64,
+    syy: f64,
+    samples: Vec<(f64, f64)>,
+}
+
+impl Moments2 {
+    fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sxx += x * x;
+        self.sy += y;
+        self.syy += y * y;
+        if self.samples.len() < 50_000 {
+            self.samples.push((x, y));
+        }
+    }
+    fn mean_x(&self) -> f64 {
+        self.sx / self.n as f64
+    }
+    fn mean_y(&self) -> f64 {
+        self.sy / self.n as f64
+    }
+    fn std_x(&self) -> f64 {
+        (self.sxx / self.n as f64 - self.mean_x().powi(2)).max(0.0).sqrt()
+    }
+    fn std_y(&self) -> f64 {
+        (self.syy / self.n as f64 - self.mean_y().powi(2)).max(0.0).sqrt()
+    }
+}
+
+fn render_cloud(samples: &[(f64, f64)], x0: f64, x1: f64, y0: f64, y1: f64) {
+    const W: usize = 64;
+    const H: usize = 16;
+    let mut grid = vec![0u32; W * H];
+    for &(x, y) in samples {
+        if x < x0 || x >= x1 || y < y0 || y >= y1 {
+            continue;
+        }
+        let cx = ((x - x0) / (x1 - x0) * W as f64) as usize;
+        let cy = ((y - y0) / (y1 - y0) * H as f64) as usize;
+        grid[cy.min(H - 1) * W + cx.min(W - 1)] += 1;
+    }
+    let max = grid.iter().copied().max().unwrap_or(1).max(1);
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    for row in (0..H).rev() {
+        let line: String = (0..W)
+            .map(|col| {
+                let v = grid[row * W + col] as f64 / max as f64;
+                shades[(v * (shades.len() - 1) as f64).ceil() as usize]
+            })
+            .collect();
+        println!("|{line}|");
+    }
+}

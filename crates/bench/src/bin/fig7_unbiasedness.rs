@@ -1,0 +1,149 @@
+//! **Figure 7** — unbiasedness verification.
+//!
+//! Collects (estimated, true) squared-distance pairs for RaBitQ and for
+//! OPQ on the GIST-like dataset, normalizes by the maximum true squared
+//! distance, and fits a least-squares line (Section 5.2.6). An unbiased
+//! estimator gives slope ≈ 1, intercept ≈ 0; OPQ's PQ-style estimator is
+//! visibly biased.
+//!
+//! Also fits the deliberately biased RaBitQ variant `⟨ō,q⟩` (Appendix F.2,
+//! Figure 11) whose slope-deficit is exactly the ≈0.8 alignment factor.
+//!
+//! ```text
+//! cargo run --release -p rabitq-bench --bin fig7_unbiasedness -- --n 10000
+//! ```
+
+use rabitq_bench::{Args, Table, Testbed};
+use rabitq_core::kernels::ip_code_query;
+use rabitq_core::{estimator, Rabitq, RabitqConfig};
+use rabitq_data::registry::PaperDataset;
+use rabitq_math::vecs;
+use rabitq_metrics::linear_regression;
+use rabitq_pq::{Opq, OpqConfig, PqConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("n", 10_000);
+    let queries = args.usize("queries", 10);
+    let seed = args.u64("seed", 42);
+    let dataset = args
+        .datasets(&[PaperDataset::Gist])
+        .into_iter()
+        .next()
+        .expect("one dataset");
+
+    let clusters = args.usize("clusters", (n / 256).max(16));
+    let tb = Testbed::paper(dataset, n, queries, clusters, seed);
+    let dim = tb.ds.dim;
+    println!(
+        "# Figure 7: unbiasedness fit over {} (est, true) pairs, {} (D = {dim})",
+        n * queries,
+        tb.ds.name
+    );
+    println!("# unbiased estimator => slope ~ 1.0, intercept ~ 0.0\n");
+
+    // ---- RaBitQ (unbiased and biased variants share codes). ----
+    let quantizer = Rabitq::new(
+        dim,
+        RabitqConfig {
+            seed,
+            ..RabitqConfig::default()
+        },
+    );
+    let code_sets: Vec<_> = tb
+        .buckets
+        .iter()
+        .enumerate()
+        .map(|(c, ids)| {
+            let mut set = quantizer.new_code_set();
+            for &id in ids {
+                quantizer.encode_into(tb.ds.vector(id as usize), tb.coarse.centroid(c), &mut set);
+            }
+            set
+        })
+        .collect();
+
+    // ---- OPQ baseline. ----
+    let pq_cfg = PqConfig {
+        m: dim / 2,
+        k_bits: 4,
+        train_iters: 10,
+        training_sample: Some(8_000),
+        seed,
+    };
+    let mut ocfg = OpqConfig::new(pq_cfg);
+    ocfg.outer_iters = 3;
+    ocfg.procrustes_sample = 8_000;
+    let opq = Opq::train(&tb.residuals, dim, &ocfg);
+    let opq_codes: Vec<_> = tb
+        .buckets
+        .iter()
+        .map(|ids| opq.encode_set(ids.iter().map(|&id| tb.residual(id))))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF7);
+    let mut truth: Vec<f64> = Vec::new();
+    let mut est_rabitq: Vec<f64> = Vec::new();
+    let mut est_rabitq_biased: Vec<f64> = Vec::new();
+    let mut est_opq: Vec<f64> = Vec::new();
+
+    for qi in 0..queries {
+        let query = tb.ds.query(qi);
+        for (c, ids) in tb.buckets.iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let prepared = quantizer.prepare_query(query, tb.coarse.centroid(c), &mut rng);
+            let mut residual_q = vec![0.0f32; dim];
+            vecs::sub(query, tb.coarse.centroid(c), &mut residual_q);
+            let luts = opq.build_luts(&residual_q);
+            for (slot, &id) in ids.iter().enumerate() {
+                let set = &code_sets[c];
+                let unbiased = quantizer.estimate(&prepared, set, slot).dist_sq;
+                let ip_bin = ip_code_query(set.code_bits(slot), &prepared);
+                let biased = estimator::estimate_biased(
+                    ip_bin,
+                    set.factors(slot),
+                    &prepared,
+                    quantizer.padded_dim(),
+                )
+                .dist_sq;
+                let opq_est = opq.pq().adc_distance(&luts, opq_codes[c].code(slot));
+                let exact = vecs::l2_sq(tb.ds.vector(id as usize), query);
+                truth.push(exact as f64);
+                est_rabitq.push(unbiased as f64);
+                est_rabitq_biased.push(biased as f64);
+                est_opq.push(opq_est as f64);
+            }
+        }
+    }
+
+    // Normalize by the maximum true squared distance (the paper's axes).
+    let max_true = truth.iter().cloned().fold(0.0, f64::max).max(1e-30);
+    for v in truth
+        .iter_mut()
+        .chain(est_rabitq.iter_mut())
+        .chain(est_rabitq_biased.iter_mut())
+        .chain(est_opq.iter_mut())
+    {
+        *v /= max_true;
+    }
+
+    let mut table = Table::new(&["estimator", "slope", "intercept", "R^2"]);
+    for (name, est) in [
+        ("RaBitQ <o,q>/<o-bar,o> (unbiased)", &est_rabitq),
+        ("RaBitQ <o-bar,q> (biased ablation)", &est_rabitq_biased),
+        ("OPQ ADC (biased)", &est_opq),
+    ] {
+        let fit = linear_regression(&truth, est);
+        table.row(&[
+            name.to_string(),
+            format!("{:.4}", fit.slope),
+            format!("{:+.4}", fit.intercept),
+            format!("{:.4}", fit.r_squared),
+        ]);
+    }
+    table.print();
+}

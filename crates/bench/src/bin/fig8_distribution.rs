@@ -1,0 +1,103 @@
+//! **Figure 8 (appendix)** — verification of Lemma B.3.
+//!
+//! Two checks against closed forms:
+//! 1. `⟨ō,e₁⟩ / √(1 − ⟨ō,o⟩²)` must follow the sphere-coordinate density
+//!    `p_{D−1}` (histogram vs theoretical pdf, reported as max deviation
+//!    and a side-by-side table on the central bins);
+//! 2. `⟨ō,o⟩` must concentrate around the closed-form expectation
+//!    `√(D/π)·2Γ(D/2)/((D−1)Γ((D−1)/2))` ≈ 0.8.
+//!
+//! ```text
+//! cargo run --release -p rabitq-bench --bin fig8_distribution -- --samples 100000
+//! ```
+
+use rabitq_bench::{Args, Table};
+use rabitq_math::rng::standard_normal_vec;
+use rabitq_math::special::{expected_code_alignment, sphere_coordinate_density};
+use rabitq_math::vecs;
+use rabitq_metrics::Histogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let dim = args.usize("dim", 128);
+    let samples = args.usize("samples", 100_000);
+    let seed = args.u64("seed", 42);
+
+    println!("# Figure 8: distribution verification of Lemma B.3 (D = {dim}, {samples} samples)\n");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lim = 4.0 / (dim as f64 - 1.0).sqrt();
+    let mut hist = Histogram::new(-lim, lim, 32);
+    let mut alignment_sum = 0.0f64;
+    let mut alignment_sq = 0.0f64;
+
+    for _ in 0..samples {
+        // Rotation-invariance sampler (see fig1_concentration).
+        let mut u = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut u);
+        let mut w = standard_normal_vec(&mut rng, dim);
+        let proj = vecs::dot(&w, &u);
+        vecs::axpy(-proj, &u, &mut w);
+        vecs::normalize(&mut w);
+        let inv_sqrt_d = 1.0 / (dim as f32).sqrt();
+        let ip_oo = vecs::l1_norm_f64(&u) * inv_sqrt_d as f64;
+        let ip_e1: f64 = u
+            .iter()
+            .zip(w.iter())
+            .map(|(&ui, &wi)| if ui >= 0.0 { wi as f64 } else { -(wi as f64) })
+            .sum::<f64>()
+            * inv_sqrt_d as f64;
+        alignment_sum += ip_oo;
+        alignment_sq += ip_oo * ip_oo;
+        let x1 = ip_e1 / (1.0 - ip_oo * ip_oo).max(1e-12).sqrt();
+        hist.record(x1);
+    }
+
+    // ---- Panel 1: X₁ histogram vs p_{D−1}. ----
+    println!("## X1 = <o-bar,e1>/sqrt(1-<o-bar,o>^2) vs theoretical p_(D-1)");
+    let mut table = Table::new(&["bin-center", "empirical-density", "theory-density"]);
+    let mut max_dev: f64 = 0.0;
+    for b in 0..hist.bins() {
+        let x = hist.bin_center(b);
+        let emp = hist.density(b);
+        let th = sphere_coordinate_density(dim - 1, x);
+        // Relative deviation is only meaningful where the density carries
+        // mass; extreme-tail bins hold a handful of samples.
+        if th >= 0.05 {
+            max_dev = max_dev.max((emp - th).abs() / th);
+        }
+        if b % 4 == 0 {
+            table.row(&[
+                format!("{x:+.4}"),
+                format!("{emp:.3}"),
+                format!("{th:.3}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "max relative deviation over bins with density >= 0.05: {:.2}%",
+        max_dev * 100.0
+    );
+    println!("samples outside +/-4 sigma window: {}\n", hist.outside());
+
+    // ---- Panel 2: ⟨ō,o⟩ concentration. ----
+    let mean = alignment_sum / samples as f64;
+    let std = (alignment_sq / samples as f64 - mean * mean).max(0.0).sqrt();
+    let theory = expected_code_alignment(dim);
+    println!("## <o-bar,o> concentration");
+    let mut t2 = Table::new(&["quantity", "empirical", "theory"]);
+    t2.row(&[
+        "mean".into(),
+        format!("{mean:.5}"),
+        format!("{theory:.5}"),
+    ]);
+    t2.row(&[
+        "std".into(),
+        format!("{std:.5}"),
+        format!("O(1/sqrt(D)) = {:.5}", 1.0 / (dim as f64).sqrt()),
+    ]);
+    t2.print();
+}

@@ -1,0 +1,124 @@
+//! **Table 4** — index-phase wall time on the GIST-like dataset.
+//!
+//! Times the full quantizer index phase (codebook training + encoding +
+//! auxiliary precomputation) for RaBitQ, PQ, OPQ, and the LSQ-style AQ.
+//! The paper's machine ran 32 threads; this harness is single-threaded, so
+//! the *ratios* are the comparable quantity. The AQ/LSQ row is measured on
+//! an encode subsample and extrapolated to the full set, reproducing the
+//! paper's ">24 hours" time-out finding honestly without burning a day.
+//!
+//! ```text
+//! cargo run --release -p rabitq-bench --bin table4_index_time -- --n 20000
+//! ```
+
+use rabitq_aq::{AdditiveQuantizer, AqConfig};
+use rabitq_bench::{Args, Table, Testbed};
+use rabitq_core::{Rabitq, RabitqConfig};
+use rabitq_data::registry::PaperDataset;
+use rabitq_metrics::timer::time_once;
+use rabitq_pq::{Opq, OpqConfig, PqConfig, ProductQuantizer};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("n", 20_000);
+    let seed = args.u64("seed", 42);
+    let aq_encode_sample = args.usize("aq-sample", 300);
+    let dataset = args
+        .datasets(&[PaperDataset::Gist])
+        .into_iter()
+        .next()
+        .expect("one dataset");
+
+    let clusters = args.usize("clusters", (n / 256).max(16));
+    let tb = Testbed::paper(dataset, n, 1, clusters, seed);
+    let dim = tb.ds.dim;
+    println!("# Table 4: indexing time, {} (D = {dim}, n = {n}, 1 thread)", tb.ds.name);
+    println!("# (paper: RaBitQ 117s, PQ 105s, OPQ 291s, LSQ >24h — on 1M vectors, 32 threads)\n");
+
+    let mut table = Table::new(&["method", "train+encode", "notes"]);
+
+    // ---- RaBitQ: sample rotation, rotate + sign every vector. ----
+    let (_, rabitq_time) = time_once(|| {
+        let q = Rabitq::new(
+            dim,
+            RabitqConfig {
+                seed,
+                ..RabitqConfig::default()
+            },
+        );
+        for (c, ids) in tb.buckets.iter().enumerate() {
+            let mut set = q.new_code_set();
+            for &id in ids {
+                q.encode_into(tb.ds.vector(id as usize), tb.coarse.centroid(c), &mut set);
+            }
+            std::hint::black_box(q.pack(&set));
+        }
+    });
+    table.row(&[
+        "RaBitQ".into(),
+        format!("{:.1}s", rabitq_time.as_secs_f64()),
+        "full dataset".into(),
+    ]);
+
+    // ---- PQ (k = 4, M = D/2): KMeans sub-codebooks + encode. ----
+    let pq_cfg = PqConfig {
+        m: dim / 2,
+        k_bits: 4,
+        train_iters: 10,
+        training_sample: Some(10_000),
+        seed,
+    };
+    let (_, pq_time) = time_once(|| {
+        let pq = ProductQuantizer::train(&tb.residuals, dim, &pq_cfg);
+        std::hint::black_box(pq.encode_set(tb.residuals.chunks_exact(dim)));
+    });
+    table.row(&[
+        "PQ".into(),
+        format!("{:.1}s", pq_time.as_secs_f64()),
+        "full dataset".into(),
+    ]);
+
+    // ---- OPQ: alternating rotation + PQ. ----
+    let (_, opq_time) = time_once(|| {
+        let mut ocfg = OpqConfig::new(pq_cfg.clone());
+        ocfg.outer_iters = 3;
+        ocfg.procrustes_sample = 8_000;
+        let opq = Opq::train(&tb.residuals, dim, &ocfg);
+        std::hint::black_box(opq.encode_set(tb.residuals.chunks_exact(dim)));
+    });
+    table.row(&[
+        "OPQ".into(),
+        format!("{:.1}s", opq_time.as_secs_f64()),
+        "full dataset".into(),
+    ]);
+
+    // ---- LSQ-style AQ: train on a sample, time a small encode batch,
+    // extrapolate. ----
+    let aq_cfg = AqConfig {
+        m: dim / 2,
+        k_bits: 4,
+        refine_iters: 1,
+        icm_passes: 2,
+        kmeans_iters: 8,
+        training_sample: Some(1_000),
+        seed,
+    };
+    let (aq, aq_train_time) =
+        time_once(|| AdditiveQuantizer::train(&tb.ds.data[..2_000.min(n) * dim], dim, &aq_cfg));
+    let sample = aq_encode_sample.min(n);
+    let (_, aq_encode_time) =
+        time_once(|| std::hint::black_box(aq.encode_set(tb.ds.data[..sample * dim].chunks_exact(dim))));
+    let per_vec = aq_encode_time.as_secs_f64() / sample as f64;
+    let extrapolated = aq_train_time.as_secs_f64() + per_vec * n as f64;
+    table.row(&[
+        "LSQ(AQ)".into(),
+        format!("{extrapolated:.1}s (extrapolated)"),
+        format!(
+            "measured {:.2}ms/vector on {sample} vectors; {:.0}x PQ",
+            per_vec * 1e3,
+            extrapolated / pq_time.as_secs_f64().max(1e-9)
+        ),
+    ]);
+
+    table.print();
+}

@@ -1,0 +1,543 @@
+//! # rabitq-cli — command-line front end
+//!
+//! End-to-end workflows over `.fvecs`/`.ivecs` files (the interchange
+//! format of the public ANN benchmarks):
+//!
+//! ```text
+//! rabitq generate      --dataset sift --n 100000 --queries 1000 \
+//!                      --out-data base.fvecs --out-queries q.fvecs
+//! rabitq ground-truth  --data base.fvecs --queries q.fvecs --k 100 --out gt.ivecs
+//! rabitq build         --data base.fvecs --clusters 1024 --out index.rbq
+//! rabitq search        --index index.rbq --queries q.fvecs --k 100 \
+//!                      --nprobe 64 --gt gt.ivecs --out results.ivecs
+//! rabitq info          --index index.rbq
+//! rabitq graph-build   --data base.fvecs --centroids 64 --out index.gph
+//! rabitq graph-search  --index index.gph --queries q.fvecs --k 100 \
+//!                      --ef-search 400 --gt gt.ivecs --out results.ivecs
+//! ```
+//!
+//! The library surface (`run`) is process-free so the whole pipeline is
+//! exercised by integration tests.
+
+use rabitq_core::{RabitqConfig, RotatorKind};
+use rabitq_data::io;
+use rabitq_data::registry::PaperDataset;
+use rabitq_graph::{GraphRabitq, GraphRabitqConfig, GraphRerank};
+use rabitq_hnsw::HnswConfig;
+use rabitq_ivf::{IvfConfig, IvfRabitq};
+use rabitq_metrics::{recall_at_k, Stopwatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Runs one CLI invocation. `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let (command, rest) = args.split_first().ok_or_else(usage)?;
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "ground-truth" => cmd_ground_truth(&flags),
+        "build" => cmd_build(&flags),
+        "search" => cmd_search(&flags),
+        "info" => cmd_info(&flags),
+        "graph-build" => cmd_graph_build(&flags),
+        "graph-search" => cmd_graph_search(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: rabitq <generate|ground-truth|build|search|info|graph-build|graph-search> \
+     [--flag value]...\n\
+     see crate docs for per-command flags"
+        .to_string()
+}
+
+/// Parsed `--key value` flags.
+struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut iter = tokens.iter();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            let val = iter
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            values.insert(key.to_string(), val.clone());
+        }
+        Ok(Self { values })
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf, String> {
+        self.values
+            .get(key)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+        }
+    }
+
+    fn f32_or(&self, key: &str, default: f32) -> Result<f32, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be a number, got {v:?}")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} must be an integer, got {v:?}")),
+        }
+    }
+
+    fn flag_present(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+fn io_err(context: &str, e: std::io::Error) -> String {
+    format!("{context}: {e}")
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let name = flags.str_or("dataset", "sift");
+    let dataset =
+        PaperDataset::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let n = flags.usize_or("n", 10_000)?;
+    let queries = flags.usize_or("queries", 100)?;
+    let seed = flags.u64_or("seed", 42)?;
+    let out_data = flags.path("out-data")?;
+    let out_queries = flags.path("out-queries")?;
+    let ds = dataset.generate(n, queries, seed);
+    io::write_fvecs(&out_data, &ds.data, ds.dim).map_err(|e| io_err("writing data", e))?;
+    io::write_fvecs(&out_queries, &ds.queries, ds.dim)
+        .map_err(|e| io_err("writing queries", e))?;
+    println!(
+        "wrote {} base vectors -> {} and {} queries -> {} (D = {})",
+        n,
+        out_data.display(),
+        queries,
+        out_queries.display(),
+        ds.dim
+    );
+    Ok(())
+}
+
+fn cmd_ground_truth(flags: &Flags) -> Result<(), String> {
+    let (data, dim) = read_fvecs_checked(&flags.path("data")?)?;
+    let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
+    if dim != qdim {
+        return Err(format!("data D = {dim} but queries D = {qdim}"));
+    }
+    let k = flags.usize_or("k", 100)?;
+    let out = flags.path("out")?;
+    let gt = rabitq_data::exact_knn(&data, dim, &queries, k, 1);
+    let flat: Vec<i32> = gt
+        .iter()
+        .flat_map(|nbrs| nbrs.iter().map(|&(id, _)| id as i32))
+        .collect();
+    io::write_ivecs(&out, &flat, k).map_err(|e| io_err("writing ground truth", e))?;
+    println!("wrote exact top-{k} for {} queries -> {}", gt.len(), out.display());
+    Ok(())
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), String> {
+    let (data, dim) = read_fvecs_checked(&flags.path("data")?)?;
+    let n = data.len() / dim;
+    let clusters = flags.usize_or("clusters", IvfConfig::clusters_for(n))?;
+    let out = flags.path("out")?;
+    let config = RabitqConfig {
+        bq: flags.usize_or("bq", 4)? as u8,
+        epsilon0: flags.f32_or("epsilon0", 1.9)?,
+        seed: flags.u64_or("seed", 0x5EED_AB17)?,
+        rotator: if flags.flag_present("hadamard") {
+            RotatorKind::RandomizedHadamard
+        } else {
+            RotatorKind::DenseOrthogonal
+        },
+        padded_dim: None,
+    };
+    let mut sw = Stopwatch::new();
+    sw.start();
+    let index = IvfRabitq::build(&data, dim, &IvfConfig::new(clusters), config);
+    sw.stop();
+    index
+        .save(&out)
+        .map_err(|e| io_err("saving index", e))?;
+    println!(
+        "built IVF-RaBitQ over {n} x {dim}D in {:.1}s ({} buckets, {}-bit codes) -> {}",
+        sw.elapsed().as_secs_f64(),
+        index.n_buckets(),
+        index.quantizer().padded_dim(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_search(flags: &Flags) -> Result<(), String> {
+    let index =
+        IvfRabitq::load(&flags.path("index")?).map_err(|e| io_err("loading index", e))?;
+    let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
+    if qdim != index.dim() {
+        return Err(format!(
+            "index D = {} but queries D = {qdim}",
+            index.dim()
+        ));
+    }
+    let k = flags.usize_or("k", 100)?;
+    let nprobe = flags.usize_or("nprobe", 64)?;
+    let seed = flags.u64_or("seed", 1)?;
+    let nq = queries.len() / qdim;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = Stopwatch::new();
+    let mut all_ids: Vec<i32> = Vec::with_capacity(nq * k);
+    let mut per_query_ids: Vec<Vec<u32>> = Vec::with_capacity(nq);
+    for q in queries.chunks_exact(qdim) {
+        sw.start();
+        let res = index.search(q, k, nprobe, &mut rng);
+        sw.stop();
+        let mut ids: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+        ids.resize(k, u32::MAX); // pad short answers deterministically
+        all_ids.extend(ids.iter().map(|&id| id as i32));
+        per_query_ids.push(ids);
+    }
+    println!(
+        "searched {nq} queries: k = {k}, nprobe = {nprobe}, {:.0} QPS",
+        sw.per_second(nq as u64)
+    );
+
+    if let Ok(gt_path) = flags.path("gt") {
+        let (gt_flat, gt_k) = io::read_ivecs(&gt_path).map_err(|e| io_err("reading gt", e))?;
+        let mut recall = 0.0;
+        for (qi, ids) in per_query_ids.iter().enumerate() {
+            let want: Vec<u32> = gt_flat[qi * gt_k..qi * gt_k + gt_k.min(k)]
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
+            recall += recall_at_k(&want, ids);
+        }
+        println!("recall@{k}: {:.4}", recall / nq as f64);
+    }
+
+    if let Ok(out) = flags.path("out") {
+        io::write_ivecs(&out, &all_ids, k).map_err(|e| io_err("writing results", e))?;
+        println!("wrote neighbor ids -> {}", out.display());
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let path = flags.path("index")?;
+    let index = IvfRabitq::load(&path).map_err(|e| io_err("loading index", e))?;
+    let cfg = index.quantizer().config();
+    println!("index file : {}", path.display());
+    println!("vectors    : {}", index.len());
+    println!("dimension  : {}", index.dim());
+    println!("code bits  : {}", index.quantizer().padded_dim());
+    println!("buckets    : {}", index.n_buckets());
+    println!("B_q        : {}", cfg.bq);
+    println!("epsilon0   : {}", cfg.epsilon0);
+    println!("rotator    : {:?}", cfg.rotator);
+    println!("bit entropy: {:.2}%", index.normalized_code_entropy() * 100.0);
+    Ok(())
+}
+
+fn cmd_graph_build(flags: &Flags) -> Result<(), String> {
+    let (data, dim) = read_fvecs_checked(&flags.path("data")?)?;
+    let n = data.len() / dim;
+    let out = flags.path("out")?;
+    let config = GraphRabitqConfig {
+        hnsw: HnswConfig {
+            m: flags.usize_or("m", 16)?,
+            ef_construction: flags.usize_or("ef-construction", 500)?,
+            seed: flags.u64_or("seed", 0x4452)?,
+        },
+        rabitq: RabitqConfig {
+            bq: flags.usize_or("bq", 4)? as u8,
+            epsilon0: flags.f32_or("epsilon0", 1.9)?,
+            seed: flags.u64_or("seed", 0x5EED_AB17)?,
+            rotator: if flags.flag_present("hadamard") {
+                RotatorKind::RandomizedHadamard
+            } else {
+                RotatorKind::DenseOrthogonal
+            },
+            padded_dim: None,
+        },
+        rerank: GraphRerank::ErrorBound,
+        centroids: flags.usize_or("centroids", 1)?,
+    };
+    let mut sw = Stopwatch::new();
+    sw.start();
+    let index = GraphRabitq::build(&data, dim, config);
+    sw.stop();
+    let file = std::fs::File::create(&out).map_err(|e| io_err("creating index file", e))?;
+    let mut w = std::io::BufWriter::new(file);
+    index.write(&mut w).map_err(|e| io_err("saving index", e))?;
+    let (layers, degree) = index.graph().graph_stats();
+    println!(
+        "built Graph-RaBitQ over {n} x {dim}D in {:.1}s ({layers} layers, avg degree \
+         {degree:.1}, {} centroid(s), {}-bit codes) -> {}",
+        sw.elapsed().as_secs_f64(),
+        index.n_centroids(),
+        index.quantizer().padded_dim(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_graph_search(flags: &Flags) -> Result<(), String> {
+    let file =
+        std::fs::File::open(flags.path("index")?).map_err(|e| io_err("opening index", e))?;
+    let mut r = std::io::BufReader::new(file);
+    let index = GraphRabitq::read(&mut r).map_err(|e| io_err("loading index", e))?;
+    let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
+    if qdim != index.dim() {
+        return Err(format!("index D = {} but queries D = {qdim}", index.dim()));
+    }
+    let k = flags.usize_or("k", 100)?;
+    let ef = flags.usize_or("ef-search", 4 * k)?;
+    let seed = flags.u64_or("seed", 1)?;
+    let nq = queries.len() / qdim;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = Stopwatch::new();
+    let mut all_ids: Vec<i32> = Vec::with_capacity(nq * k);
+    let mut per_query_ids: Vec<Vec<u32>> = Vec::with_capacity(nq);
+    let (mut est, mut rer) = (0usize, 0usize);
+    for q in queries.chunks_exact(qdim) {
+        sw.start();
+        let res = index.search(q, k, ef, &mut rng);
+        sw.stop();
+        est += res.n_estimated;
+        rer += res.n_reranked;
+        let mut ids: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+        ids.resize(k, u32::MAX);
+        all_ids.extend(ids.iter().map(|&id| id as i32));
+        per_query_ids.push(ids);
+    }
+    println!(
+        "searched {nq} queries: k = {k}, efSearch = {ef}, {:.0} QPS, \
+         {:.0} estimated / {:.0} re-ranked per query",
+        sw.per_second(nq as u64),
+        est as f64 / nq as f64,
+        rer as f64 / nq as f64
+    );
+
+    if let Ok(gt_path) = flags.path("gt") {
+        let (gt_flat, gt_k) = io::read_ivecs(&gt_path).map_err(|e| io_err("reading gt", e))?;
+        let mut recall = 0.0;
+        for (qi, ids) in per_query_ids.iter().enumerate() {
+            let want: Vec<u32> = gt_flat[qi * gt_k..qi * gt_k + gt_k.min(k)]
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
+            recall += recall_at_k(&want, ids);
+        }
+        println!("recall@{k}: {:.4}", recall / nq as f64);
+    }
+
+    if let Ok(out) = flags.path("out") {
+        io::write_ivecs(&out, &all_ids, k).map_err(|e| io_err("writing results", e))?;
+        println!("wrote neighbor ids -> {}", out.display());
+    }
+    Ok(())
+}
+
+fn read_fvecs_checked(path: &Path) -> Result<(Vec<f32>, usize), String> {
+    let (data, dim) = io::read_fvecs(path).map_err(|e| io_err("reading fvecs", e))?;
+    if dim == 0 || data.is_empty() {
+        return Err(format!("{} holds no vectors", path.display()));
+    }
+    Ok((data, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rabitq-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn full_pipeline_generate_build_search() {
+        let dir = tmp_dir("pipeline");
+        let data = dir.join("base.fvecs");
+        let queries = dir.join("q.fvecs");
+        let gt = dir.join("gt.ivecs");
+        let index = dir.join("index.rbq");
+        let results = dir.join("res.ivecs");
+
+        run(&args(&[
+            "generate", "--dataset", "sift", "--n", "800", "--queries", "5",
+            "--out-data", data.to_str().unwrap(), "--out-queries", queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ground-truth", "--data", data.to_str().unwrap(), "--queries",
+            queries.to_str().unwrap(), "--k", "10", "--out", gt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "build", "--data", data.to_str().unwrap(), "--clusters", "8",
+            "--out", index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "search", "--index", index.to_str().unwrap(), "--queries",
+            queries.to_str().unwrap(), "--k", "10", "--nprobe", "8",
+            "--gt", gt.to_str().unwrap(), "--out", results.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&["info", "--index", index.to_str().unwrap()])).unwrap();
+
+        // The results file holds 5 queries × 10 ids.
+        let (ids, k) = io::read_ivecs(&results).unwrap();
+        assert_eq!(k, 10);
+        assert_eq!(ids.len(), 50);
+        // High-recall regime (everything probed): answers should mostly
+        // match the exact ground truth.
+        let (gt_ids, gk) = io::read_ivecs(&gt).unwrap();
+        assert_eq!(gk, 10);
+        let matches = ids
+            .chunks_exact(10)
+            .zip(gt_ids.chunks_exact(10))
+            .map(|(a, b)| a.iter().filter(|x| b.contains(x)).count())
+            .sum::<usize>();
+        assert!(matches >= 45, "only {matches}/50 ids matched ground truth");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_pipeline_build_and_search() {
+        let dir = tmp_dir("graph-pipeline");
+        let data = dir.join("base.fvecs");
+        let queries = dir.join("q.fvecs");
+        let gt = dir.join("gt.ivecs");
+        let index = dir.join("index.gph");
+        let results = dir.join("res.ivecs");
+
+        run(&args(&[
+            "generate", "--dataset", "sift", "--n", "600", "--queries", "5",
+            "--out-data", data.to_str().unwrap(), "--out-queries", queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ground-truth", "--data", data.to_str().unwrap(), "--queries",
+            queries.to_str().unwrap(), "--k", "5", "--out", gt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "graph-build", "--data", data.to_str().unwrap(), "--centroids", "4",
+            "--ef-construction", "100", "--out", index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "graph-search", "--index", index.to_str().unwrap(), "--queries",
+            queries.to_str().unwrap(), "--k", "5", "--ef-search", "100",
+            "--gt", gt.to_str().unwrap(), "--out", results.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let (ids, k) = io::read_ivecs(&results).unwrap();
+        assert_eq!(k, 5);
+        assert_eq!(ids.len(), 25);
+        let (gt_ids, _) = io::read_ivecs(&gt).unwrap();
+        let matches = ids
+            .chunks_exact(5)
+            .zip(gt_ids.chunks_exact(5))
+            .map(|(a, b)| a.iter().filter(|x| b.contains(x)).count())
+            .sum::<usize>();
+        assert!(matches >= 20, "only {matches}/25 ids matched ground truth");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_search_rejects_wrong_index_format() {
+        let dir = tmp_dir("graph-wrong-format");
+        let data = dir.join("base.fvecs");
+        let ivf_index = dir.join("index.rbq");
+        run(&args(&[
+            "generate", "--dataset", "sift", "--n", "300", "--queries", "2",
+            "--out-data", data.to_str().unwrap(),
+            "--out-queries", dir.join("q.fvecs").to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "build", "--data", data.to_str().unwrap(), "--clusters", "4",
+            "--out", ivf_index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Loading an IVF index as a graph index must fail with a clear
+        // error, not a panic or garbage results.
+        let err = run(&args(&[
+            "graph-search", "--index", ivf_index.to_str().unwrap(), "--queries",
+            dir.join("q.fvecs").to_str().unwrap(), "--k", "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("loading index"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_flags_and_unknown_commands_error_cleanly() {
+        assert!(run(&args(&["build"])).is_err());
+        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&args(&["generate", "--dataset", "nope", "--out-data", "x",
+            "--out-queries", "y"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let dir = tmp_dir("dims");
+        let a = dir.join("a.fvecs");
+        let b = dir.join("b.fvecs");
+        io::write_fvecs(&a, &[0.0f32; 40], 8).unwrap();
+        io::write_fvecs(&b, &[0.0f32; 40], 10).unwrap();
+        let err = run(&args(&[
+            "ground-truth", "--data", a.to_str().unwrap(), "--queries",
+            b.to_str().unwrap(), "--k", "3", "--out",
+            dir.join("gt.ivecs").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("D = 8"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

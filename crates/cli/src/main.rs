@@ -1,0 +1,10 @@
+//! `rabitq` binary entry point; all logic lives in the library so the
+//! integration tests can drive it in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = rabitq_cli::run(&args) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,239 @@
+//! The unbiased distance estimator and its confidence bound
+//! (Sections 3.2 and 3.3, Theorem 3.2).
+//!
+//! Given the integer kernel output `ip_bin = ⟨x̄_b, q̄_u⟩`, the quantized
+//! inner product of unit vectors is recovered by Eq. 20:
+//!
+//! ```text
+//! ⟨x̄, q̄⟩ = 2Δ/√B·⟨x̄_b,q̄_u⟩ + 2v_l/√B·popcount(x̄_b) − Δ/√B·Σq̄_u − √B·v_l
+//! ```
+//!
+//! then `⟨o,q⟩ ≈ ⟨x̄,q̄⟩ / ⟨ō,o⟩` (unbiased, Eq. 13) and the squared raw
+//! distance follows from Eq. 2. The half-width of the confidence interval
+//! on `⟨o,q⟩` is `ε₀·√((1−⟨ō,o⟩²)/(⟨ō,o⟩²·(B−1)))` (Eq. 14/16), with
+//! `ε₀ = 1.9` giving near-perfect coverage in practice (Section 5.2.4).
+
+use crate::code::CodeFactors;
+use crate::query::QuantizedQuery;
+
+/// `⟨ō,o⟩` below this is treated as degenerate (probability ~0 under the
+/// random rotation); the estimator then reports maximal uncertainty rather
+/// than dividing by ~0.
+const MIN_IP_OO: f32 = 1e-5;
+
+/// Output of the estimator for one (query, code) pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceEstimate {
+    /// Unbiased estimate of the squared raw distance `‖o_r − q_r‖²`.
+    pub dist_sq: f32,
+    /// Lower confidence bound on the squared distance (clamped to ≥ 0).
+    /// Used by the re-ranking rule of Section 4: a candidate whose lower
+    /// bound exceeds the current K-th best exact distance is dropped.
+    pub lower_bound: f32,
+    /// Upper confidence bound on the squared distance — the dual of
+    /// [`DistanceEstimate::lower_bound`]: a candidate whose upper bound is
+    /// below a range-query radius is *certified* inside without touching
+    /// the raw vector.
+    pub upper_bound: f32,
+    /// Estimated inner product `⟨o, q⟩` of the unit residuals.
+    pub ip_est: f32,
+    /// Half-width of the confidence interval on `⟨o, q⟩`.
+    pub ip_error: f32,
+}
+
+/// Per-code state the estimator needs besides the kernel output.
+///
+/// This mirrors [`CodeFactors`] but is kept separate so callers can stage
+/// factors in scan order without touching the bit storage.
+pub type Factors = CodeFactors;
+
+/// The confidence half-width on `⟨o,q⟩` for a code with alignment `ip_oo`
+/// and code length `padded_dim`, at confidence parameter `epsilon0`
+/// (Eq. 16). Independent of the query.
+#[inline]
+pub fn ip_confidence_halfwidth(ip_oo: f32, padded_dim: usize, epsilon0: f32) -> f32 {
+    let ip = ip_oo.max(MIN_IP_OO);
+    let ratio = ((1.0 - ip * ip).max(0.0)) / (ip * ip);
+    epsilon0 * (ratio / (padded_dim as f32 - 1.0)).sqrt()
+}
+
+/// Recovers `⟨x̄, q̄⟩` from the integer kernel output (Eq. 20).
+#[inline]
+pub fn ip_quantized(ip_bin: u32, popcount: u32, query: &QuantizedQuery, padded_dim: usize) -> f32 {
+    let sqrt_b = (padded_dim as f32).sqrt();
+    let inv_sqrt_b = 1.0 / sqrt_b;
+    2.0 * query.delta * inv_sqrt_b * ip_bin as f32
+        + 2.0 * query.v_l * inv_sqrt_b * popcount as f32
+        - query.delta * inv_sqrt_b * query.sum_qu as f32
+        - sqrt_b * query.v_l
+}
+
+/// Full estimator: kernel output + per-code factors → distance estimate
+/// with confidence bound.
+#[inline]
+pub fn estimate(
+    ip_bin: u32,
+    factors: Factors,
+    query: &QuantizedQuery,
+    padded_dim: usize,
+    epsilon0: f32,
+) -> DistanceEstimate {
+    let ip_xq = ip_quantized(ip_bin, factors.popcount, query, padded_dim);
+    let ip_oo = factors.ip_oo.max(MIN_IP_OO);
+    let ip_est = ip_xq / ip_oo;
+    let ip_error = ip_confidence_halfwidth(factors.ip_oo, padded_dim, epsilon0);
+    let cross = 2.0 * factors.norm * query.q_dist;
+    let base = factors.norm * factors.norm + query.q_dist * query.q_dist;
+    DistanceEstimate {
+        dist_sq: base - cross * ip_est,
+        lower_bound: (base - cross * (ip_est + ip_error)).max(0.0),
+        upper_bound: base - cross * (ip_est - ip_error),
+        ip_est,
+        ip_error,
+    }
+}
+
+/// The *biased* PQ-style alternative `⟨o,q⟩ ≈ ⟨ō,q⟩` (i.e. treating the
+/// quantized vector as the data vector), provided for the Appendix F.2
+/// ablation. Its bias is ≈ E[⟨ō,o⟩] ≈ 0.8.
+#[inline]
+pub fn estimate_biased(
+    ip_bin: u32,
+    factors: Factors,
+    query: &QuantizedQuery,
+    padded_dim: usize,
+) -> DistanceEstimate {
+    let ip_est = ip_quantized(ip_bin, factors.popcount, query, padded_dim);
+    let cross = 2.0 * factors.norm * query.q_dist;
+    let base = factors.norm * factors.norm + query.q_dist * query.q_dist;
+    DistanceEstimate {
+        dist_sq: base - cross * ip_est,
+        lower_bound: 0.0,
+        upper_bound: f32::INFINITY,
+        ip_est,
+        ip_error: f32::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::ip_code_query;
+    use crate::query::QuantizedQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ip_quantized_matches_direct_inner_product() {
+        // ⟨x̄, q̄⟩ computed through the integer identity must equal the
+        // direct dot product between the reconstructed ±1/√B vector and the
+        // de-quantized query entries.
+        let padded = 128usize;
+        let mut rng = StdRng::seed_from_u64(21);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded);
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+
+        let mut set = crate::code::CodeSet::new(padded);
+        let code: Vec<u64> = (0..padded / 64).map(|_| rand::Rng::gen(&mut rng)).collect();
+        set.push(&code, 1.0, 0.8);
+
+        let ip_bin = ip_code_query(set.code_bits(0), &query);
+        let via_identity = ip_quantized(ip_bin, set.factors(0).popcount, &query, padded);
+
+        let xbar = set.reconstruct_rotated(0);
+        let direct: f32 = (0..padded).map(|i| xbar[i] * query.dequantized(i)).sum();
+
+        assert!(
+            (via_identity - direct).abs() < 1e-3,
+            "{via_identity} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn error_halfwidth_matches_formula_and_shrinks_with_dimension() {
+        let e0 = 1.9f32;
+        let hw128 = ip_confidence_halfwidth(0.8, 128, e0);
+        let manual = e0 * ((1.0 - 0.64f32) / 0.64 / 127.0).sqrt();
+        assert!((hw128 - manual).abs() < 1e-6);
+        let hw1024 = ip_confidence_halfwidth(0.8, 1024, e0);
+        assert!(hw1024 < hw128 / 2.0, "O(1/√B): {hw128} vs {hw1024}");
+    }
+
+    #[test]
+    fn degenerate_alignment_reports_huge_uncertainty_without_nan() {
+        let hw = ip_confidence_halfwidth(0.0, 128, 1.9);
+        assert!(hw.is_finite());
+        assert!(hw > 1000.0);
+    }
+
+    #[test]
+    fn zero_norm_vector_estimates_exactly_q_dist_sq() {
+        let padded = 64usize;
+        let mut rng = StdRng::seed_from_u64(33);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded);
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        let f = Factors {
+            norm: 0.0,
+            ip_oo: 1.0,
+            popcount: 0,
+        };
+        let est = estimate(123, f, &query, padded, 1.9);
+        let want = query.q_dist * query.q_dist;
+        assert!((est.dist_sq - want).abs() < 1e-4);
+        assert!(est.lower_bound <= est.dist_sq);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_estimate() {
+        let padded = 128usize;
+        let mut rng = StdRng::seed_from_u64(44);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded);
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        for ip_bin in [0u32, 100, 500, 1000] {
+            let f = Factors {
+                norm: 2.0,
+                ip_oo: 0.8,
+                popcount: 64,
+            };
+            let est = estimate(ip_bin, f, &query, padded, 1.9);
+            assert!(est.lower_bound <= est.dist_sq.max(0.0) + 1e-5);
+            assert!(est.lower_bound >= 0.0);
+            assert!(est.upper_bound >= est.dist_sq - 1e-5);
+            // Interval is symmetric around the estimate (before the ≥0
+            // clamp on the lower end).
+            let width_up = est.upper_bound - est.dist_sq;
+            assert!(width_up >= 0.0);
+        }
+    }
+
+    #[test]
+    fn epsilon0_zero_collapses_bound_to_estimate() {
+        let padded = 128usize;
+        let mut rng = StdRng::seed_from_u64(55);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded);
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        let f = Factors {
+            norm: 1.5,
+            ip_oo: 0.8,
+            popcount: 60,
+        };
+        let est = estimate(200, f, &query, padded, 0.0);
+        assert!((est.lower_bound - est.dist_sq.max(0.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn biased_estimator_scales_ip_by_alignment() {
+        let padded = 128usize;
+        let mut rng = StdRng::seed_from_u64(66);
+        let residual = rabitq_math::rng::standard_normal_vec(&mut rng, padded);
+        let query = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        let f = Factors {
+            norm: 1.0,
+            ip_oo: 0.8,
+            popcount: 64,
+        };
+        let unbiased = estimate(500, f, &query, padded, 1.9);
+        let biased = estimate_biased(500, f, &query, padded);
+        assert!((biased.ip_est - unbiased.ip_est * 0.8).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Binary (de)serialization for indexes.
+//!
+//! A deliberately small hand-rolled format (little-endian, length-prefixed
+//! buffers, magic + version header) rather than a serde dependency: index
+//! files are large, flat numeric arrays, and downstream users need a
+//! stable on-disk format more than they need derive ergonomics.
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every file written by this workspace.
+pub const MAGIC: &[u8; 4] = b"RBQ1";
+
+/// Writes the file header.
+pub fn write_header<W: Write>(w: &mut W, section: &str) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_str(w, section)
+}
+
+/// Reads and validates the file header, returning the section name.
+pub fn read_header<R: Read>(r: &mut R) -> io::Result<String> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic — not a rabitq index file"));
+    }
+    read_str(r)
+}
+
+/// Creates an `InvalidData` error.
+pub fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one byte.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+/// Reads one byte.
+pub fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Writes a little-endian `u64`.
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `u64`.
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a `usize` as a little-endian `u64`.
+pub fn write_usize<W: Write>(w: &mut W, v: usize) -> io::Result<()> {
+    write_u64(w, v as u64)
+}
+
+/// Reads a `usize` written by [`write_usize`].
+pub fn read_usize<R: Read>(r: &mut R) -> io::Result<usize> {
+    let v = read_u64(r)?;
+    usize::try_from(v).map_err(|_| invalid("length overflows usize"))
+}
+
+/// Writes a little-endian `f32`.
+pub fn write_f32<W: Write>(w: &mut W, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a little-endian `f32`.
+pub fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a string written by [`write_str`].
+pub fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_usize(r)?;
+    if len > 1 << 20 {
+        return Err(invalid("unreasonable string length"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| invalid("non-UTF8 string"))
+}
+
+/// Length-prefixed `f32` buffer.
+pub fn write_f32_slice<W: Write>(w: &mut W, s: &[f32]) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    for &v in s {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Length-prefixed `f32` buffer.
+pub fn read_f32_vec<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_usize(r)?;
+    let bytes = read_len_prefixed(r, len, 4)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
+/// Reads `len · elem_size` bytes in bounded chunks. A corrupted length
+/// prefix then fails with `UnexpectedEof` once the stream runs dry,
+/// instead of trusting the prefix with one huge up-front allocation
+/// (a lying 2⁶⁰ count must not abort the process).
+fn read_len_prefixed<R: Read>(r: &mut R, len: usize, elem_size: usize) -> io::Result<Vec<u8>> {
+    const CHUNK: usize = 1 << 20; // 1 MiB of bytes per step
+    let total = len
+        .checked_mul(elem_size)
+        .ok_or_else(|| invalid("length prefix overflows"))?;
+    let mut buf = Vec::new();
+    let mut remaining = total;
+    while remaining > 0 {
+        let step = remaining.min(CHUNK);
+        let old = buf.len();
+        buf.resize(old + step, 0);
+        r.read_exact(&mut buf[old..])?;
+        remaining -= step;
+    }
+    Ok(buf)
+}
+
+/// Length-prefixed `u64` buffer.
+pub fn write_u64_slice<W: Write>(w: &mut W, s: &[u64]) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    for &v in s {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Length-prefixed `u64` buffer.
+pub fn read_u64_vec<R: Read>(r: &mut R) -> io::Result<Vec<u64>> {
+    let len = read_usize(r)?;
+    let bytes = read_len_prefixed(r, len, 8)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        .collect())
+}
+
+/// Length-prefixed `u32` buffer.
+pub fn write_u32_slice<W: Write>(w: &mut W, s: &[u32]) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    for &v in s {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Length-prefixed `u32` buffer.
+pub fn read_u32_vec<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+    let len = read_usize(r)?;
+    let bytes = read_len_prefixed(r, len, 4)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u64(&mut buf, u64::MAX - 3).unwrap();
+        write_f32(&mut buf, -1.25).unwrap();
+        write_str(&mut buf, "rotator/dense").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(read_f32(&mut r).unwrap(), -1.25);
+        assert_eq!(read_str(&mut r).unwrap(), "rotator/dense");
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &[1.0, -2.5, 3.75]).unwrap();
+        write_u64_slice(&mut buf, &[u64::MAX, 0, 42]).unwrap();
+        write_u32_slice(&mut buf, &[9, 8]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_f32_vec(&mut r).unwrap(), vec![1.0, -2.5, 3.75]);
+        assert_eq!(read_u64_vec(&mut r).unwrap(), vec![u64::MAX, 0, 42]);
+        assert_eq!(read_u32_vec(&mut r).unwrap(), vec![9, 8]);
+    }
+
+    #[test]
+    fn header_round_trip_and_rejection() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, "ivf-rabitq").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_header(&mut r).unwrap(), "ivf-rabitq");
+
+        let garbage = b"NOPE....";
+        assert!(read_header(&mut garbage.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        write_f32_slice(&mut buf, &[1.0, 2.0, 3.0]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_f32_vec(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn lying_length_prefix_fails_without_huge_allocation() {
+        // A prefix claiming 2⁶⁰ floats on an 8-byte stream must error with
+        // UnexpectedEof, not attempt a 2⁶²-byte allocation.
+        let mut buf = Vec::new();
+        write_usize(&mut buf, 1usize << 60).unwrap();
+        buf.extend_from_slice(&[0u8; 8]);
+        let err = read_f32_vec(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // And an overflowing len · elem_size is caught up front.
+        let mut buf = Vec::new();
+        write_usize(&mut buf, usize::MAX).unwrap();
+        assert!(read_u64_vec(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Query-side quantization (Section 3.3.1).
+//!
+//! The rotated query residual `q' = P⁻¹(q_r − c)` is normalized and its
+//! entries are quantized to `B_q`-bit unsigned integers with **randomized
+//! uniform scalar quantization**: a value `v = v_l + m·Δ + t` rounds down
+//! with probability `1 − t/Δ` and up with probability `t/Δ`, which makes the
+//! quantized inner product unbiased (Eq. 18) and lets Theorem 3.3 bound the
+//! extra error with `B_q = Θ(log log D)`; `B_q = 4` in practice.
+//!
+//! The quantized entries are stored three ways, each serving one kernel:
+//! * `qu` — one `u8` per dimension (reference kernel, LUT construction);
+//! * `bitplanes` — `B_q` bit-planes of `B` bits each, for the bitwise
+//!   AND+popcount kernel (Eq. 21–22);
+//! * per-query scalars (`Δ`, `v_l`, `Σq̄_u`, `‖q_r − c‖`) consumed by the
+//!   estimator algebra (Eq. 20).
+
+use rabitq_math::vecs;
+use rand::Rng;
+
+/// A query residual quantized against one centroid.
+#[derive(Clone, Debug)]
+pub struct QuantizedQuery {
+    padded_dim: usize,
+    bq: u8,
+    /// Quantized entries `q̄_u[i] ∈ [0, 2^B_q)`.
+    qu: Vec<u8>,
+    /// `B_q` bit-planes, each `padded_dim/64` words; plane `j` holds bit `j`
+    /// of every entry.
+    bitplanes: Vec<u64>,
+    /// Quantization step `Δ = (v_r − v_l)/(2^B_q − 1)`; `0` for a constant
+    /// residual (e.g. the query coincides with the centroid).
+    pub delta: f32,
+    /// Grid origin `v_l = min_i q'[i]`.
+    pub v_l: f32,
+    /// `Σ_i q̄_u[i]`, shared across all codes scanned under this query.
+    pub sum_qu: u32,
+    /// `‖q_r − c‖` — distance from the raw query to the centroid.
+    pub q_dist: f32,
+}
+
+impl QuantizedQuery {
+    /// Quantizes a rotated query residual `P⁻¹(q_r − c)` (unnormalized;
+    /// rotation preserves the norm, so `‖q_r − c‖` is recovered here).
+    ///
+    /// # Panics
+    /// Panics unless `rotated.len()` is a positive multiple of 64 and
+    /// `1 ≤ bq ≤ 8`.
+    pub fn from_rotated_residual<R: Rng + ?Sized>(
+        rotated: &[f32],
+        bq: u8,
+        rng: &mut R,
+    ) -> Self {
+        let padded_dim = rotated.len();
+        assert!(
+            padded_dim > 0 && padded_dim % 64 == 0,
+            "rotated residual length must be a positive multiple of 64"
+        );
+        assert!((1..=8).contains(&bq), "B_q must be in 1..=8");
+
+        let q_dist = vecs::norm(rotated);
+        let words = padded_dim / 64;
+        let levels = (1u32 << bq) - 1;
+
+        let mut qu = vec![0u8; padded_dim];
+        let (mut v_l, mut delta) = (0.0f32, 0.0f32);
+        if q_dist > f32::EPSILON {
+            let inv_norm = 1.0 / q_dist;
+            // Normalized entries; computed on the fly to avoid an extra
+            // allocation of q'.
+            let (lo, hi) = vecs::min_max(rotated);
+            v_l = lo * inv_norm;
+            let v_r = hi * inv_norm;
+            delta = (v_r - v_l) / levels as f32;
+            if delta > 0.0 {
+                let inv_delta = 1.0 / delta;
+                for (slot, &raw) in qu.iter_mut().zip(rotated.iter()) {
+                    let v = raw * inv_norm;
+                    let pos = (v - v_l) * inv_delta + rng.gen_range(0.0f32..1.0);
+                    *slot = (pos as u32).min(levels) as u8;
+                }
+            }
+            // delta == 0 (all entries equal): every q̄_u stays 0 and the
+            // estimator's v_l term carries the whole value.
+        }
+
+        let sum_qu: u32 = qu.iter().map(|&v| v as u32).sum();
+        let mut bitplanes = vec![0u64; bq as usize * words];
+        for (d, &v) in qu.iter().enumerate() {
+            let word = d / 64;
+            let bit = d % 64;
+            for j in 0..bq as usize {
+                if (v >> j) & 1 == 1 {
+                    bitplanes[j * words + word] |= 1u64 << bit;
+                }
+            }
+        }
+
+        Self {
+            padded_dim,
+            bq,
+            qu,
+            bitplanes,
+            delta,
+            v_l,
+            sum_qu,
+            q_dist,
+        }
+    }
+
+    /// Code length `B` this query was quantized for.
+    #[inline]
+    pub fn padded_dim(&self) -> usize {
+        self.padded_dim
+    }
+
+    /// Number of quantization bits `B_q`.
+    #[inline]
+    pub fn bq(&self) -> u8 {
+        self.bq
+    }
+
+    /// Quantized entries, one per dimension.
+    #[inline]
+    pub fn qu(&self) -> &[u8] {
+        &self.qu
+    }
+
+    /// Bit-plane `j` (`0 ≤ j < B_q`) as `padded_dim/64` words.
+    #[inline]
+    pub fn bitplane(&self, j: usize) -> &[u64] {
+        let words = self.padded_dim / 64;
+        &self.bitplanes[j * words..(j + 1) * words]
+    }
+
+    /// The de-quantized value `v_l + Δ·q̄_u[i]` of entry `i` — the entry of
+    /// the quantized unit query `q̄`.
+    #[inline]
+    pub fn dequantized(&self, i: usize) -> f32 {
+        self.v_l + self.delta * self.qu[i] as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_residual(dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        rabitq_math::rng::standard_normal_vec(&mut rng, dim)
+    }
+
+    #[test]
+    fn entries_stay_within_bq_range() {
+        let residual = sample_residual(256, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for bq in 1..=8u8 {
+            let q = QuantizedQuery::from_rotated_residual(&residual, bq, &mut rng);
+            let max = (1u32 << bq) - 1;
+            assert!(q.qu().iter().all(|&v| (v as u32) <= max), "bq={bq}");
+        }
+    }
+
+    #[test]
+    fn bitplanes_reconstruct_qu() {
+        let residual = sample_residual(192, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        for d in 0..192 {
+            let mut v = 0u8;
+            for j in 0..4 {
+                let w = q.bitplane(j)[d / 64];
+                if (w >> (d % 64)) & 1 == 1 {
+                    v |= 1 << j;
+                }
+            }
+            assert_eq!(v, q.qu()[d], "dimension {d}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_within_one_step() {
+        let residual = sample_residual(512, 5);
+        let norm = vecs::norm(&residual);
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        for (i, &raw) in residual.iter().enumerate() {
+            let exact = raw / norm;
+            let approx = q.dequantized(i);
+            assert!(
+                (exact - approx).abs() <= q.delta * 1.0001,
+                "entry {i}: exact {exact}, approx {approx}, Δ {}",
+                q.delta
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_rounding_is_unbiased_in_the_mean() {
+        // Quantize the same residual many times; the mean de-quantized value
+        // of each entry must converge to the exact value (Sec. 3.3.1).
+        let residual = sample_residual(64, 7);
+        let norm = vecs::norm(&residual);
+        let trials = 4000;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sums = vec![0.0f64; 64];
+        for _ in 0..trials {
+            let q = QuantizedQuery::from_rotated_residual(&residual, 3, &mut rng);
+            for (i, s) in sums.iter_mut().enumerate() {
+                *s += q.dequantized(i) as f64;
+            }
+        }
+        for (i, &raw) in residual.iter().enumerate() {
+            let exact = (raw / norm) as f64;
+            let mean = sums[i] / trials as f64;
+            // Standard error of the mean is ≤ Δ/√trials ≈ 0.3/63 ≈ 0.005.
+            assert!(
+                (mean - exact).abs() < 0.01,
+                "entry {i}: mean {mean} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_qu_matches_entries() {
+        let residual = sample_residual(128, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        let manual: u32 = q.qu().iter().map(|&v| v as u32).sum();
+        assert_eq!(q.sum_qu, manual);
+    }
+
+    #[test]
+    fn q_dist_equals_residual_norm() {
+        let residual = sample_residual(128, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        assert!((q.q_dist - vecs::norm(&residual)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_residual_is_handled() {
+        let residual = vec![0.0f32; 64];
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        assert_eq!(q.q_dist, 0.0);
+        assert_eq!(q.sum_qu, 0);
+        assert_eq!(q.delta, 0.0);
+    }
+
+    #[test]
+    fn constant_residual_yields_zero_delta_but_correct_v_l() {
+        // All entries equal → v_l carries the whole (normalized) value.
+        let residual = vec![2.0f32; 64];
+        let mut rng = StdRng::seed_from_u64(14);
+        let q = QuantizedQuery::from_rotated_residual(&residual, 4, &mut rng);
+        assert_eq!(q.delta, 0.0);
+        let expected = 1.0 / (64.0f32).sqrt(); // normalized constant entry
+        assert!((q.v_l - expected).abs() < 1e-5);
+        assert_eq!(q.sum_qu, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "B_q")]
+    fn bq_zero_is_rejected() {
+        let residual = vec![1.0f32; 64];
+        let mut rng = StdRng::seed_from_u64(15);
+        QuantizedQuery::from_rotated_residual(&residual, 0, &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! Unbiased inner-product and cosine estimation from RaBitQ codes —
+//! footnote 8 of the paper made a first-class API.
+//!
+//! The paper's estimator targets the inner product of *unit residuals*
+//! `⟨ô, q̂⟩` with `ô = (o_r − c)/‖o_r − c‖`. Two identities lift that to
+//! the similarities retrieval systems actually rank by:
+//!
+//! * **raw inner product** (footnote 8):
+//!   `⟨o_r, q_r⟩ = ‖o_r−c‖·‖q_r−c‖·⟨ô, q̂⟩ + ⟨o_r, c⟩ + ⟨q_r, c⟩ − ‖c‖²`,
+//!   where `⟨o_r, c⟩` is a per-vector scalar precomputed at index time and
+//!   `⟨q_r, c⟩`, `‖q_r−c‖` are per-query scalars;
+//! * **cosine**: `cos(o_r, q_r) = ⟨o_r, q_r⟩ / (‖o_r‖·‖q_r‖)`.
+//!
+//! Both transformations are affine in `⟨ô, q̂⟩` with nonnegative scale, so
+//! the estimator's unbiasedness (Theorem 3.2) carries over exactly, and
+//! its `ε₀`-confidence half-width maps through the same scale. The
+//! resulting bounds power MIPS re-ranking the same way distance lower
+//! bounds power nearest-neighbor re-ranking (Section 4): a candidate whose
+//! inner-product *upper* bound cannot beat the current K-th best exact
+//! inner product is dropped without touching the raw vector.
+
+use crate::estimator::DistanceEstimate;
+
+/// Estimate of a raw inner product `⟨o_r, q_r⟩` with confidence bounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IpEstimate {
+    /// Unbiased estimate of `⟨o_r, q_r⟩`.
+    pub ip: f32,
+    /// Lower confidence bound.
+    pub lower_bound: f32,
+    /// Upper confidence bound. MIPS re-ranking drops a candidate iff this
+    /// falls below the current K-th best exact inner product.
+    pub upper_bound: f32,
+}
+
+/// Estimate of `cos(o_r, q_r)` with confidence bounds clamped to [−1, 1].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CosineEstimate {
+    /// Unbiased estimate of the cosine (up to the norm scaling, which is
+    /// exact — the randomness only enters through `⟨ô, q̂⟩`).
+    pub cos: f32,
+    /// Lower confidence bound.
+    pub lower_bound: f32,
+    /// Upper confidence bound.
+    pub upper_bound: f32,
+}
+
+/// Per-query scalars of the footnote-8 identity, computed once per query
+/// and shared by every code scanned under it.
+#[derive(Clone, Copy, Debug)]
+pub struct IpQueryTerms {
+    /// `⟨q_r, c⟩`.
+    pub ip_qc: f32,
+    /// `‖c‖²`.
+    pub norm_c_sq: f32,
+}
+
+impl IpQueryTerms {
+    /// Computes the per-query scalars for a raw query and centroid.
+    pub fn new(query: &[f32], centroid: &[f32]) -> Self {
+        assert_eq!(query.len(), centroid.len(), "dimensionality");
+        Self {
+            ip_qc: rabitq_math::vecs::dot(query, centroid),
+            norm_c_sq: rabitq_math::vecs::dot(centroid, centroid),
+        }
+    }
+}
+
+/// Lifts a unit-residual estimate to the raw inner product `⟨o_r, q_r⟩`.
+///
+/// `de` is the output of the distance estimator for this (query, code)
+/// pair; `norm_oc = ‖o_r − c‖` is the code's stored factor; `q_dist =
+/// ‖q_r − c‖` comes from the prepared query; `ip_oc = ⟨o_r, c⟩` is the
+/// per-vector scalar indexes store next to the code.
+#[inline]
+pub fn inner_product(
+    de: &DistanceEstimate,
+    norm_oc: f32,
+    q_dist: f32,
+    ip_oc: f32,
+    terms: IpQueryTerms,
+) -> IpEstimate {
+    let scale = norm_oc * q_dist;
+    let offset = ip_oc + terms.ip_qc - terms.norm_c_sq;
+    let ip = scale * de.ip_est + offset;
+    let halfwidth = scale * de.ip_error;
+    IpEstimate {
+        ip,
+        lower_bound: ip - halfwidth,
+        upper_bound: ip + halfwidth,
+    }
+}
+
+/// Converts a raw-inner-product estimate to a cosine estimate given the
+/// two raw norms. Degenerate (zero-norm) inputs produce a zero cosine
+/// with maximal [−1, 1] bounds rather than NaNs.
+#[inline]
+pub fn cosine(ip: &IpEstimate, norm_o: f32, norm_q: f32) -> CosineEstimate {
+    let denom = norm_o * norm_q;
+    if denom <= f32::EPSILON {
+        return CosineEstimate {
+            cos: 0.0,
+            lower_bound: -1.0,
+            upper_bound: 1.0,
+        };
+    }
+    let inv = 1.0 / denom;
+    CosineEstimate {
+        cos: (ip.ip * inv).clamp(-1.0, 1.0),
+        lower_bound: (ip.lower_bound * inv).clamp(-1.0, 1.0),
+        upper_bound: (ip.upper_bound * inv).clamp(-1.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::{Rabitq, RabitqConfig};
+    use rabitq_math::vecs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// End-to-end: the lifted inner-product estimate tracks the exact raw
+    /// inner product within its confidence interval almost always, for a
+    /// non-trivial centroid.
+    #[test]
+    fn inner_product_tracks_exact_with_centroid() {
+        let dim = 128;
+        let n = 300;
+        let mut rng = StdRng::seed_from_u64(41);
+        let data: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                let mut v = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+                for x in v.iter_mut() {
+                    *x += 0.5; // shift so the centroid is far from the origin
+                }
+                v
+            })
+            .collect();
+        let mut centroid = vec![0.0f32; dim];
+        for v in &data {
+            for (c, &x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f32;
+            }
+        }
+        let quantizer = Rabitq::new(dim, RabitqConfig::default());
+        let codes = quantizer.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        let prepared = quantizer.prepare_query(&query, &centroid, &mut rng);
+        let terms = IpQueryTerms::new(&query, &centroid);
+
+        let mut abs_err_sum = 0.0f64;
+        let mut signed_err_sum = 0.0f64;
+        let mut halfwidth_sum = 0.0f64;
+        let mut covered = 0usize;
+        for (i, v) in data.iter().enumerate() {
+            let de = quantizer.estimate(&prepared, &codes, i);
+            let factors = codes.factors(i);
+            let ip_oc = vecs::dot(v, &centroid);
+            let est = inner_product(&de, factors.norm, prepared.q_dist, ip_oc, terms);
+            let exact = vecs::dot(v, &query);
+            abs_err_sum += (est.ip - exact).abs() as f64;
+            signed_err_sum += (est.ip - exact) as f64;
+            halfwidth_sum += (est.upper_bound - est.ip) as f64;
+            if exact >= est.lower_bound && exact <= est.upper_bound {
+                covered += 1;
+            }
+        }
+        let mean_abs = abs_err_sum / n as f64;
+        let mean_signed = signed_err_sum / n as f64;
+        let mean_halfwidth = halfwidth_sum / n as f64;
+        // The ε₀ = 1.9 half-width targets ~2.4σ of the error distribution,
+        // so the typical |error| (~0.8σ) must sit well inside it.
+        assert!(
+            mean_abs < 0.6 * mean_halfwidth,
+            "mean |error| = {mean_abs} vs mean half-width {mean_halfwidth}"
+        );
+        assert!(
+            mean_signed.abs() < mean_abs / 2.0,
+            "signed error {mean_signed} should be far smaller than {mean_abs} (unbiasedness)"
+        );
+        // ε₀ = 1.9 targets near-perfect coverage (Section 5.2.4).
+        assert!(covered as f64 / n as f64 > 0.95, "coverage {covered}/{n}");
+    }
+
+    /// Cosine of a vector with itself estimates ≈ 1 and the interval
+    /// covers 1.
+    #[test]
+    fn self_cosine_is_near_one() {
+        let dim = 192;
+        let mut rng = StdRng::seed_from_u64(42);
+        let v = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        let centroid = vec![0.0f32; dim];
+        let quantizer = Rabitq::new(dim, RabitqConfig::default());
+        let codes = quantizer.encode_set(std::iter::once(v.as_slice()), &centroid);
+        let prepared = quantizer.prepare_query(&v, &centroid, &mut rng);
+        let de = quantizer.estimate(&prepared, &codes, 0);
+        let factors = codes.factors(0);
+        let terms = IpQueryTerms::new(&v, &centroid);
+        let ip = inner_product(&de, factors.norm, prepared.q_dist, 0.0, terms);
+        let cos = cosine(&ip, vecs::norm(&v), vecs::norm(&v));
+        assert!((cos.cos - 1.0).abs() < 0.15, "cos = {}", cos.cos);
+        assert!(cos.upper_bound >= cos.cos && cos.lower_bound <= cos.cos);
+    }
+
+    /// With centroid 0 and unit vectors, the lifted inner product reduces
+    /// to the estimator's `ip_est` exactly (the example in
+    /// `examples/cosine_and_mips.rs` relies on this).
+    #[test]
+    fn zero_centroid_unit_vectors_reduce_to_ip_est() {
+        let dim = 64;
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut v = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut v);
+        let centroid = vec![0.0f32; dim];
+        let quantizer = Rabitq::new(dim, RabitqConfig::default());
+        let codes = quantizer.encode_set(std::iter::once(v.as_slice()), &centroid);
+        let mut q = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut q);
+        let prepared = quantizer.prepare_query(&q, &centroid, &mut rng);
+        let de = quantizer.estimate(&prepared, &codes, 0);
+        let factors = codes.factors(0);
+        let terms = IpQueryTerms::new(&q, &centroid);
+        let ip = inner_product(&de, factors.norm, prepared.q_dist, 0.0, terms);
+        // scale = ‖v‖·‖q‖ = 1, offset = 0.
+        assert!((ip.ip - de.ip_est).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_cosine_inputs_do_not_produce_nan() {
+        let ip = IpEstimate {
+            ip: 0.3,
+            lower_bound: 0.1,
+            upper_bound: 0.5,
+        };
+        let c = cosine(&ip, 0.0, 1.0);
+        assert_eq!(c.cos, 0.0);
+        assert_eq!((c.lower_bound, c.upper_bound), (-1.0, 1.0));
+        // Bounds clamp even when the interval exceeds the feasible range.
+        let wide = IpEstimate {
+            ip: 5.0,
+            lower_bound: -9.0,
+            upper_bound: 9.0,
+        };
+        let c = cosine(&wide, 1.0, 1.0);
+        assert_eq!((c.cos, c.lower_bound, c.upper_bound), (1.0, -1.0, 1.0));
+    }
+}

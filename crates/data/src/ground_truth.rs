@@ -1,0 +1,174 @@
+//! Exact K-nearest-neighbor ground truth via threaded brute force.
+//!
+//! Recall and average-distance-ratio metrics (Section 5.1) need the true
+//! top-K per query. A bounded max-heap per query keeps the scan O(N·D +
+//! N·log K); queries are distributed over worker threads.
+
+use rabitq_math::vecs;
+use std::cmp::Ordering;
+
+/// The exact top-K of one query: `(index, squared distance)` ascending.
+pub type Neighbors = Vec<(u32, f32)>;
+
+/// A max-heap entry ordered by distance (ties by index for determinism).
+#[derive(PartialEq)]
+struct HeapItem(f32, u32);
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// Computes the exact `k` nearest base vectors for every query.
+///
+/// `data` is flat `n × dim`, `queries` flat `nq × dim`. Returns one sorted
+/// neighbor list per query. `threads = 1` disables threading.
+pub fn exact_knn(
+    data: &[f32],
+    dim: usize,
+    queries: &[f32],
+    k: usize,
+    threads: usize,
+) -> Vec<Neighbors> {
+    assert!(dim > 0, "dim must be positive");
+    assert!(data.len() % dim == 0, "data shape");
+    assert!(queries.len() % dim == 0, "queries shape");
+    let nq = queries.len() / dim;
+    let mut out: Vec<Neighbors> = vec![Vec::new(); nq];
+    if nq == 0 {
+        return out;
+    }
+    let threads = threads.max(1).min(nq);
+    let chunk = nq.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [Neighbors] = &mut out;
+        for t in 0..threads {
+            let start = t * chunk;
+            if start >= nq {
+                break;
+            }
+            let rows = chunk.min(nq - start);
+            let (mine, rest) = remaining.split_at_mut(rows);
+            remaining = rest;
+            let queries_chunk = &queries[start * dim..(start + rows) * dim];
+            scope.spawn(move || {
+                for (q, slot) in queries_chunk.chunks_exact(dim).zip(mine.iter_mut()) {
+                    *slot = knn_single(data, dim, q, k);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Exact top-K for a single query.
+pub fn knn_single(data: &[f32], dim: usize, query: &[f32], k: usize) -> Neighbors {
+    let n = data.len() / dim;
+    let k = k.min(n);
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for (i, row) in data.chunks_exact(dim).enumerate() {
+        let d = vecs::l2_sq(row, query);
+        if heap.len() < k {
+            heap.push(HeapItem(d, i as u32));
+        } else if let Some(top) = heap.peek() {
+            if d < top.0 {
+                heap.pop();
+                heap.push(HeapItem(d, i as u32));
+            }
+        }
+    }
+    let mut result: Neighbors = heap.into_iter().map(|HeapItem(d, i)| (i, d)).collect();
+    result.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabitq_math::rng::standard_normal_vec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_the_planted_nearest_neighbor() {
+        let dim = 8;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = standard_normal_vec(&mut rng, 100 * dim);
+        let query = standard_normal_vec(&mut rng, dim);
+        // Plant an almost-identical vector at index 42.
+        for d in 0..dim {
+            data[42 * dim + d] = query[d] + 1e-4;
+        }
+        let gt = exact_knn(&data, dim, &query, 5, 1);
+        assert_eq!(gt[0][0].0, 42);
+    }
+
+    #[test]
+    fn results_are_sorted_and_exactly_k() {
+        let dim = 4;
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = standard_normal_vec(&mut rng, 50 * dim);
+        let queries = standard_normal_vec(&mut rng, 3 * dim);
+        let gt = exact_knn(&data, dim, &queries, 10, 1);
+        assert_eq!(gt.len(), 3);
+        for nbrs in &gt {
+            assert_eq!(nbrs.len(), 10);
+            assert!(nbrs.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let dim = 6;
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = standard_normal_vec(&mut rng, 80 * dim);
+        let query = standard_normal_vec(&mut rng, dim);
+        let fast = knn_single(&data, dim, &query, 7);
+        let mut all: Vec<(u32, f32)> = data
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| (i as u32, vecs::l2_sq(row, &query)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(7);
+        assert_eq!(fast, all);
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let dim = 5;
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = standard_normal_vec(&mut rng, 60 * dim);
+        let queries = standard_normal_vec(&mut rng, 8 * dim);
+        let single = exact_knn(&data, dim, &queries, 4, 1);
+        let multi = exact_knn(&data, dim, &queries, 4, 4);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let dim = 3;
+        let data = vec![0.0f32; 4 * dim];
+        let query = vec![1.0f32; dim];
+        let gt = knn_single(&data, dim, &query, 100);
+        assert_eq!(gt.len(), 4);
+    }
+
+    #[test]
+    fn empty_queries_yield_empty_result() {
+        let data = vec![0.0f32; 12];
+        let gt = exact_knn(&data, 3, &[], 2, 2);
+        assert!(gt.is_empty());
+    }
+}

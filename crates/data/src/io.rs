@@ -1,0 +1,156 @@
+//! `.fvecs` / `.ivecs` file IO — the interchange format of the public ANN
+//! benchmark datasets (SIFT, GIST, …).
+//!
+//! Layout per vector: a little-endian `u32` dimensionality followed by
+//! `dim` little-endian values (`f32` for fvecs, `i32` for ivecs). When the
+//! real datasets are available they can be loaded with these readers and
+//! run through the same harness as the synthetic ones.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an `.fvecs` file into a flat `n × dim` buffer.
+///
+/// Returns `(data, dim)`. Fails if vectors have inconsistent
+/// dimensionalities or the file is truncated.
+pub fn read_fvecs(path: &Path) -> io::Result<(Vec<f32>, usize)> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut data = Vec::new();
+    let mut dim = 0usize;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = u32::from_le_bytes(len_buf) as usize;
+        if dim == 0 {
+            dim = d;
+        } else if dim != d {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimensionality: {dim} vs {d}"),
+            ));
+        }
+        let mut row = vec![0u8; d * 4];
+        reader.read_exact(&mut row)?;
+        data.extend(
+            row.chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+    }
+    Ok((data, dim))
+}
+
+/// Writes a flat `n × dim` buffer as `.fvecs`.
+pub fn write_fvecs(path: &Path, data: &[f32], dim: usize) -> io::Result<()> {
+    assert!(dim > 0 && data.len() % dim == 0, "data shape");
+    let mut writer = BufWriter::new(File::create(path)?);
+    for row in data.chunks_exact(dim) {
+        writer.write_all(&(dim as u32).to_le_bytes())?;
+        for &v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Reads an `.ivecs` file (e.g. ground-truth neighbor ids).
+pub fn read_ivecs(path: &Path) -> io::Result<(Vec<i32>, usize)> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut data = Vec::new();
+    let mut dim = 0usize;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = u32::from_le_bytes(len_buf) as usize;
+        if dim == 0 {
+            dim = d;
+        } else if dim != d {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimensionality: {dim} vs {d}"),
+            ));
+        }
+        let mut row = vec![0u8; d * 4];
+        reader.read_exact(&mut row)?;
+        data.extend(
+            row.chunks_exact(4)
+                .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+    }
+    Ok((data, dim))
+}
+
+/// Writes an `.ivecs` file.
+pub fn write_ivecs(path: &Path, data: &[i32], dim: usize) -> io::Result<()> {
+    assert!(dim > 0 && data.len() % dim == 0, "data shape");
+    let mut writer = BufWriter::new(File::create(path)?);
+    for row in data.chunks_exact(dim) {
+        writer.write_all(&(dim as u32).to_le_bytes())?;
+        for &v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rabitq-io-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fvecs_round_trip() {
+        let path = tmp("f");
+        let data = vec![1.0f32, 2.0, 3.0, -4.5, 0.0, 7.25];
+        write_fvecs(&path, &data, 3).unwrap();
+        let (back, dim) = read_fvecs(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(dim, 3);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn ivecs_round_trip() {
+        let path = tmp("i");
+        let data = vec![1i32, -2, 300, 4, 5, 6, 7, 8];
+        write_ivecs(&path, &data, 4).unwrap();
+        let (back, dim) = read_ivecs(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(dim, 4);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_file_reads_as_empty() {
+        let path = tmp("e");
+        std::fs::write(&path, []).unwrap();
+        let (data, dim) = read_fvecs(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(data.is_empty());
+        assert_eq!(dim, 0);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let path = tmp("t");
+        // Claims 4 floats but provides only 2.
+        let mut bytes = 4u32.to_le_bytes().to_vec();
+        bytes.extend(1.0f32.to_le_bytes());
+        bytes.extend(2.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_fvecs(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(err.is_err());
+    }
+}

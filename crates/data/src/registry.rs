@@ -1,0 +1,164 @@
+//! One constructor per paper dataset (Table 3), at matched dimensionality.
+//!
+//! | Paper dataset | Size | D | Trait reproduced here |
+//! |---|---|---|---|
+//! | Msong | 992,272 | 420 | heterogeneous per-dimension scales |
+//! | SIFT | 1,000,000 | 128 | clustered local descriptors |
+//! | DEEP | 1,000,000 | 256 | unit-norm embeddings |
+//! | Word2Vec | 1,000,000 | 300 | heavy-tailed anisotropic clusters |
+//! | GIST | 1,000,000 | 960 | low-rank correlated global descriptors |
+//! | Image | 2,340,373 | 150 | strongly clustered |
+//!
+//! Sizes are parameters: the experiment harness defaults to 10⁵-scale (this
+//! reproduction runs on a single core; see DESIGN.md §6).
+
+use crate::generate::{generate, Dataset, DatasetSpec, Profile};
+
+/// Identifier for a paper-analogue dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperDataset {
+    /// MSong-like: 420-d audio features with heterogeneous per-dimension
+    /// scales and magnitude outliers (the PQx4fs failure regime).
+    Msong,
+    /// SIFT-like: 128-d clustered image descriptors.
+    Sift,
+    /// DEEP-like: 256-d unit-norm neural embeddings.
+    Deep,
+    /// Word2Vec-like: 300-d heavy-tailed token embeddings.
+    Word2Vec,
+    /// GIST-like: 960-d low-rank correlated global descriptors.
+    Gist,
+    /// Image-like: 150-d clustered features, 2.3M-scale in the paper.
+    Image,
+}
+
+impl PaperDataset {
+    /// All six datasets in the paper's Table 3 order.
+    pub const ALL: [PaperDataset; 6] = [
+        PaperDataset::Msong,
+        PaperDataset::Sift,
+        PaperDataset::Deep,
+        PaperDataset::Word2Vec,
+        PaperDataset::Gist,
+        PaperDataset::Image,
+    ];
+
+    /// Dataset name as used in the paper, suffixed `-like` to signal the
+    /// synthetic substitution.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDataset::Msong => "msong-like",
+            PaperDataset::Sift => "sift-like",
+            PaperDataset::Deep => "deep-like",
+            PaperDataset::Word2Vec => "word2vec-like",
+            PaperDataset::Gist => "gist-like",
+            PaperDataset::Image => "image-like",
+        }
+    }
+
+    /// The paper dataset's dimensionality.
+    pub fn dim(self) -> usize {
+        match self {
+            PaperDataset::Msong => 420,
+            PaperDataset::Sift => 128,
+            PaperDataset::Deep => 256,
+            PaperDataset::Word2Vec => 300,
+            PaperDataset::Gist => 960,
+            PaperDataset::Image => 150,
+        }
+    }
+
+    /// Parses a name (with or without the `-like` suffix), case-insensitive.
+    pub fn parse(s: &str) -> Option<Self> {
+        let lower = s.to_ascii_lowercase();
+        let stem = lower.strip_suffix("-like").unwrap_or(&lower);
+        match stem {
+            "msong" => Some(PaperDataset::Msong),
+            "sift" => Some(PaperDataset::Sift),
+            "deep" => Some(PaperDataset::Deep),
+            "word2vec" => Some(PaperDataset::Word2Vec),
+            "gist" => Some(PaperDataset::Gist),
+            "image" => Some(PaperDataset::Image),
+            _ => None,
+        }
+    }
+
+    /// Builds the generation spec at the requested scale.
+    pub fn spec(self, n: usize, n_queries: usize, seed: u64) -> DatasetSpec {
+        let profile = match self {
+            PaperDataset::Msong => Profile::HeterogeneousScales {
+                clusters: 32,
+                scale_sigma: 1.5,
+                outlier_rate: 0.02,
+                outlier_scale: 30.0,
+            },
+            PaperDataset::Sift => Profile::Clustered {
+                clusters: 64,
+                cluster_std: 0.6,
+                center_scale: 2.0,
+            },
+            PaperDataset::Deep => Profile::UnitNorm {
+                clusters: 64,
+                cluster_std: 0.4,
+            },
+            PaperDataset::Word2Vec => Profile::HeavyTailed { clusters: 48 },
+            PaperDataset::Gist => Profile::LowRank {
+                clusters: 32,
+                rank: 48,
+                noise: 0.05,
+            },
+            PaperDataset::Image => Profile::Clustered {
+                clusters: 128,
+                cluster_std: 0.3,
+                center_scale: 2.5,
+            },
+        };
+        DatasetSpec {
+            name: self.name().to_string(),
+            dim: self.dim(),
+            n,
+            n_queries,
+            profile,
+            seed,
+        }
+    }
+
+    /// Generates the dataset at the requested scale.
+    pub fn generate(self, n: usize, n_queries: usize, seed: u64) -> Dataset {
+        generate(&self.spec(n, n_queries, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_the_paper_table() {
+        assert_eq!(PaperDataset::Msong.dim(), 420);
+        assert_eq!(PaperDataset::Sift.dim(), 128);
+        assert_eq!(PaperDataset::Deep.dim(), 256);
+        assert_eq!(PaperDataset::Word2Vec.dim(), 300);
+        assert_eq!(PaperDataset::Gist.dim(), 960);
+        assert_eq!(PaperDataset::Image.dim(), 150);
+    }
+
+    #[test]
+    fn parse_accepts_both_name_forms() {
+        assert_eq!(PaperDataset::parse("sift"), Some(PaperDataset::Sift));
+        assert_eq!(PaperDataset::parse("SIFT-like"), Some(PaperDataset::Sift));
+        assert_eq!(PaperDataset::parse("gist-like"), Some(PaperDataset::Gist));
+        assert_eq!(PaperDataset::parse("unknown"), None);
+    }
+
+    #[test]
+    fn every_dataset_generates_at_small_scale() {
+        for ds in PaperDataset::ALL {
+            let d = ds.generate(200, 5, 1);
+            assert_eq!(d.n(), 200, "{}", ds.name());
+            assert_eq!(d.n_queries(), 5);
+            assert_eq!(d.dim, ds.dim());
+            assert!(d.data.iter().all(|x| x.is_finite()), "{}", ds.name());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for dataset generation and ground truth.
+
+use proptest::prelude::*;
+use rabitq_data::generate::{generate, DatasetSpec, Profile};
+use rabitq_data::ground_truth::{exact_knn, knn_single};
+use rabitq_math::vecs;
+
+fn clustered_spec(n: usize, dim: usize, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: "prop".into(),
+        dim,
+        n,
+        n_queries: 3,
+        profile: Profile::Clustered {
+            clusters: 4,
+            cluster_std: 0.5,
+            center_scale: 2.0,
+        },
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_shapes_match_spec(n in 1usize..100, dim in 1usize..32, seed in 0u64..100) {
+        let ds = generate(&clustered_spec(n, dim, seed));
+        prop_assert_eq!(ds.n(), n);
+        prop_assert_eq!(ds.n_queries(), 3);
+        prop_assert_eq!(ds.data.len(), n * dim);
+        prop_assert!(ds.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn knn_is_sorted_and_truly_nearest(n in 2usize..60, seed in 0u64..100) {
+        let dim = 6;
+        let ds = generate(&clustered_spec(n, dim, seed));
+        let k = 5.min(n);
+        let nbrs = knn_single(&ds.data, dim, ds.query(0), k);
+        prop_assert_eq!(nbrs.len(), k);
+        prop_assert!(nbrs.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Nothing outside the answer may beat the k-th entry.
+        let kth = nbrs.last().unwrap().1;
+        let ids: Vec<u32> = nbrs.iter().map(|&(id, _)| id).collect();
+        for i in 0..n {
+            if !ids.contains(&(i as u32)) {
+                let d = vecs::l2_sq(ds.vector(i), ds.query(0));
+                prop_assert!(d >= kth - 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_ground_truth_is_thread_count_invariant(n in 4usize..50, seed in 0u64..50) {
+        let dim = 4;
+        let ds = generate(&clustered_spec(n, dim, seed));
+        let a = exact_knn(&ds.data, dim, &ds.queries, 3, 1);
+        let b = exact_knn(&ds.data, dim, &ds.queries, 3, 3);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reported_distances_are_correct(n in 2usize..40, seed in 0u64..50) {
+        let dim = 5;
+        let ds = generate(&clustered_spec(n, dim, seed));
+        let nbrs = knn_single(&ds.data, dim, ds.query(1), 3.min(n));
+        for &(id, d) in &nbrs {
+            let want = vecs::l2_sq(ds.vector(id as usize), ds.query(1));
+            prop_assert!((d - want).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the graph index: structural invariants that
+//! must hold for any data, any shape, any seed.
+
+use proptest::prelude::*;
+use rabitq_core::RabitqConfig;
+use rabitq_graph::{GraphRabitq, GraphRabitqConfig, GraphRerank};
+use rabitq_hnsw::HnswConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small data shape: (n, dim) plus a seed, sized so each case builds in
+/// milliseconds. `efConstruction` is lowered accordingly.
+fn shapes() -> impl Strategy<Value = (usize, usize, u64)> {
+    (5usize..120, 2usize..24, any::<u64>())
+}
+
+fn build(n: usize, dim: usize, seed: u64, rerank: GraphRerank) -> (GraphRabitq, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+    let config = GraphRabitqConfig {
+        hnsw: HnswConfig {
+            m: 6,
+            ef_construction: 40,
+            seed,
+        },
+        rabitq: RabitqConfig {
+            seed,
+            ..RabitqConfig::default()
+        },
+        rerank,
+        centroids: 1 + (seed % 4) as usize,
+    };
+    (GraphRabitq::build(&data, dim, config), data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Results are unique ids within range, sorted ascending by distance,
+    /// and never more than min(k, n) of them.
+    #[test]
+    fn results_sorted_unique_in_range((n, dim, seed) in shapes(), k in 1usize..15) {
+        let (index, _) = build(n, dim, seed, GraphRerank::ErrorBound);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        let res = index.search(&query, k, 32, &mut rng);
+        prop_assert!(res.neighbors.len() <= k.min(n));
+        prop_assert!(res.neighbors.windows(2).all(|w| w[0].1 <= w[1].1));
+        let mut ids: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+        prop_assert!(ids.iter().all(|&id| (id as usize) < n));
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), res.neighbors.len(), "ids must be unique");
+    }
+
+    /// Under exact re-ranking, every returned distance equals the true
+    /// squared distance of that id.
+    #[test]
+    fn reranked_distances_are_exact((n, dim, seed) in shapes()) {
+        let (index, data) = build(n, dim, seed, GraphRerank::ErrorBound);
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        let res = index.search(&query, 5, 32, &mut rng);
+        for &(id, d) in &res.neighbors {
+            let row = &data[id as usize * dim..(id as usize + 1) * dim];
+            let exact = rabitq_math::vecs::l2_sq(row, &query);
+            prop_assert!((d - exact).abs() <= exact.max(1.0) * 1e-5,
+                "id {id}: reported {d}, exact {exact}");
+        }
+    }
+
+    /// The error-bound rerank never returns a worse top-1 than the
+    /// estimate-only ranking over the same candidate pool: with the same
+    /// ef, the exact top-1 distance is ≤ the exact distance of the
+    /// estimate-only winner.
+    #[test]
+    fn bound_rerank_top1_dominates_estimates((n, dim, seed) in shapes()) {
+        let (bound, data) = build(n, dim, seed, GraphRerank::ErrorBound);
+        let (none, _) = build(n, dim, seed, GraphRerank::None);
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 3);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 3);
+        let query = rabitq_math::rng::standard_normal_vec(
+            &mut StdRng::seed_from_u64(seed ^ 4), dim);
+        let a = bound.search(&query, 1, 32, &mut rng_a);
+        let b = none.search(&query, 1, 32, &mut rng_b);
+        prop_assume!(!a.neighbors.is_empty() && !b.neighbors.is_empty());
+        let exact = |id: u32| {
+            let row = &data[id as usize * dim..(id as usize + 1) * dim];
+            rabitq_math::vecs::l2_sq(row, &query)
+        };
+        prop_assert!(a.neighbors[0].1 <= exact(b.neighbors[0].0) * (1.0 + 1e-5));
+    }
+
+    /// Persistence round-trips any index bit-identically (same search
+    /// results for the same rounding seed).
+    #[test]
+    fn persistence_round_trip((n, dim, seed) in shapes()) {
+        let (index, _) = build(n, dim, seed, GraphRerank::ErrorBound);
+        let mut buf = Vec::new();
+        index.write(&mut buf).unwrap();
+        let loaded = GraphRabitq::read(&mut buf.as_slice()).unwrap();
+        let query = rabitq_math::rng::standard_normal_vec(
+            &mut StdRng::seed_from_u64(seed ^ 5), dim);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 6);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 6);
+        prop_assert_eq!(
+            index.search(&query, 3, 16, &mut r1).neighbors,
+            loaded.search(&query, 3, 16, &mut r2).neighbors
+        );
+    }
+
+    /// Inserting vectors one at a time yields a searchable index over all
+    /// of them: a query equal to any stored vector finds it at distance 0.
+    #[test]
+    fn incremental_insert_reaches_every_vector((n, dim, seed) in shapes(), probe in 0usize..120) {
+        prop_assume!(probe < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+        let config = GraphRabitqConfig {
+            hnsw: HnswConfig { m: 6, ef_construction: 40, seed },
+            rabitq: RabitqConfig { seed, ..RabitqConfig::default() },
+            rerank: GraphRerank::ErrorBound,
+            centroids: 1,
+        };
+        let mut index = GraphRabitq::build(&data[..dim], dim, config);
+        for row in data[dim..].chunks_exact(dim) {
+            index.insert(row);
+        }
+        prop_assert_eq!(index.len(), n);
+        let query = &data[probe * dim..(probe + 1) * dim];
+        let mut qrng = StdRng::seed_from_u64(seed ^ 7);
+        let res = index.search(query, 1, n.min(64), &mut qrng);
+        // Graph search is approximate: accept either the exact id or an
+        // exact-duplicate distance; what must hold is distance ~0 when
+        // found, and *some* answer always.
+        prop_assert!(!res.neighbors.is_empty());
+        if res.neighbors[0].0 == probe as u32 {
+            prop_assert!(res.neighbors[0].1 <= 1e-6);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the HNSW graph index.
+
+use proptest::prelude::*;
+use rabitq_hnsw::{Hnsw, HnswConfig};
+use rabitq_math::vecs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(n: usize, dim: usize, seed: u64) -> (Vec<f32>, Hnsw) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+    let index = Hnsw::build(
+        &data,
+        dim,
+        HnswConfig {
+            m: 8,
+            ef_construction: 60,
+            seed,
+        },
+    );
+    (data, index)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn results_sorted_with_exact_distances(n in 5usize..200, seed in 0u64..100) {
+        let dim = 8;
+        let (data, index) = build(n, dim, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        let got = index.search(&query, 5, 40);
+        prop_assert!(got.len() <= 5.min(n));
+        prop_assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        for &(id, d) in &got {
+            let exact = vecs::l2_sq(&data[id as usize * dim..(id as usize + 1) * dim], &query);
+            prop_assert!((d - exact).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_ids_in_answers(n in 5usize..150, seed in 0u64..100, k in 1usize..10) {
+        let (_, index) = build(n, 6, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, 6);
+        let got = index.search(&query, k, 50);
+        let mut ids: Vec<u32> = got.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), got.len());
+    }
+
+    #[test]
+    fn self_query_returns_self_first(n in 3usize..100, seed in 0u64..100) {
+        let dim = 6;
+        let (data, index) = build(n, dim, seed);
+        // Query with a stored vector: it must rank first at distance 0.
+        let probe = n / 2;
+        let got = index.search(&data[probe * dim..(probe + 1) * dim], 1, 60);
+        prop_assert_eq!(got[0].1, 0.0);
+        // (Ties with duplicate points are possible but measure-zero with
+        // Gaussian data; still accept any zero-distance id.)
+        let exact = vecs::l2_sq(
+            &data[got[0].0 as usize * dim..(got[0].0 as usize + 1) * dim],
+            &data[probe * dim..(probe + 1) * dim],
+        );
+        prop_assert_eq!(exact, 0.0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_build(n in 5usize..80, seed in 0u64..50) {
+        let dim = 4;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+        let cfg = HnswConfig { m: 8, ef_construction: 60, seed };
+        let batch = Hnsw::build(&data, dim, cfg);
+        let mut incremental = Hnsw::new(dim, cfg);
+        for row in data.chunks_exact(dim) {
+            incremental.insert(row);
+        }
+        // Identical construction path ⇒ identical graphs ⇒ identical answers.
+        let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
+        prop_assert_eq!(batch.search(&query, 3, 30), incremental.search(&query, 3, 30));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for KMeans invariants.
+
+use proptest::prelude::*;
+use rabitq_kmeans::{train, KMeans, KMeansConfig};
+use rabitq_math::vecs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rabitq_math::rng::standard_normal_vec(&mut rng, n * dim)
+}
+
+fn fit(n: usize, dim: usize, k: usize, seed: u64) -> (Vec<f32>, KMeans) {
+    let data = random_data(n, dim, seed);
+    let model = train(&data, dim, &KMeansConfig::new(k));
+    (data, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn assignment_is_nearest(seed in 0u64..300, k in 2usize..8) {
+        let (data, model) = fit(60, 6, k, seed);
+        for row in data.chunks_exact(6) {
+            let (c, d) = model.assign(row);
+            for other in 0..model.k() {
+                prop_assert!(vecs::l2_sq(model.centroid(other), row) >= d - 1e-5);
+            }
+            prop_assert!(c < model.k());
+        }
+    }
+
+    #[test]
+    fn top_n_is_sorted_prefix_of_full_ranking(seed in 0u64..300, n_probe in 1usize..6) {
+        let (data, model) = fit(50, 5, 6, seed);
+        let query = &data[..5];
+        let top = model.assign_top_n(query, n_probe);
+        prop_assert_eq!(top.len(), n_probe.min(model.k()));
+        prop_assert!(top.windows(2).all(|w| w[0].1 <= w[1].1));
+        // The full ranking's best must equal top[0].
+        let mut all: Vec<(usize, f32)> = (0..model.k())
+            .map(|c| (c, vecs::l2_sq(model.centroid(c), query)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        prop_assert_eq!(top[0].1, all[0].1);
+    }
+
+    #[test]
+    fn every_cluster_is_nonempty_on_spread_data(seed in 0u64..200) {
+        let (data, model) = fit(80, 4, 5, seed);
+        let labels = model.assign_all(&data, 1);
+        let mut counts = vec![0usize; model.k()];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        // Empty-cluster repair guarantees nonempty training clusters; on
+        // the same data the final assignment should also hit every
+        // centroid.
+        prop_assert!(counts.iter().all(|&c| c > 0), "counts {:?}", counts);
+    }
+
+    #[test]
+    fn objective_bounded_by_total_variance(seed in 0u64..200, k in 1usize..6) {
+        let (data, model) = fit(70, 4, k, seed);
+        // Mean squared distance to the global mean = total variance; the
+        // KMeans objective with k ≥ 1 can never exceed it (k = 1 attains
+        // exactly it).
+        let n = 70usize;
+        let mut mean = vec![0.0f32; 4];
+        for row in data.chunks_exact(4) {
+            vecs::add_assign(&mut mean, row);
+        }
+        vecs::scale(&mut mean, 1.0 / n as f32);
+        let total_var: f64 = data
+            .chunks_exact(4)
+            .map(|row| vecs::l2_sq(row, &mean) as f64)
+            .sum::<f64>() / n as f64;
+        prop_assert!(model.objective <= total_var * 1.01 + 1e-6,
+            "objective {} vs variance {}", model.objective, total_var);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use rabitq_math::hadamard::fwht;
+use rabitq_math::vecs;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(len in 1usize..64, seed in 0u64..1000) {
+        let (a, b) = two_vecs(len, seed);
+        let ab = vecs::dot(&a, &b);
+        let ba = vecs::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_bilinear(len in 1usize..48, seed in 0u64..1000, alpha in -5.0f32..5.0) {
+        let (a, b) = two_vecs(len, seed);
+        let scaled: Vec<f32> = a.iter().map(|x| x * alpha).collect();
+        let lhs = vecs::dot(&scaled, &b);
+        let rhs = alpha * vecs::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn l2_sq_equals_expansion(len in 1usize..64, seed in 0u64..1000) {
+        let (a, b) = two_vecs(len, seed);
+        let direct = vecs::l2_sq(&a, &b) as f64;
+        let expanded = vecs::dot_f64(&a, &a) + vecs::dot_f64(&b, &b)
+            - 2.0 * vecs::dot_f64(&a, &b);
+        prop_assert!((direct - expanded).abs() <= 1e-2 * (1.0 + expanded.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz_holds(len in 1usize..64, seed in 0u64..1000) {
+        let (a, b) = two_vecs(len, seed);
+        let ip = vecs::dot_f64(&a, &b).abs();
+        let bound = vecs::norm_sq_f64(&a).sqrt() * vecs::norm_sq_f64(&b).sqrt();
+        prop_assert!(ip <= bound * (1.0 + 1e-5) + 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(len in 1usize..48, seed in 0u64..1000) {
+        let (a, b) = two_vecs(len, seed);
+        let zero = vec![0.0f32; len];
+        let ab = vecs::l2_sq(&a, &b).sqrt() as f64;
+        let a0 = vecs::l2_sq(&a, &zero).sqrt() as f64;
+        let b0 = vecs::l2_sq(&b, &zero).sqrt() as f64;
+        prop_assert!(ab <= a0 + b0 + 1e-3);
+    }
+
+    #[test]
+    fn normalize_yields_unit_norm_or_zero(v in finite_vec(32)) {
+        let mut w = v.clone();
+        let n = vecs::normalize(&mut w);
+        if n > f32::EPSILON {
+            prop_assert!((vecs::norm(&w) - 1.0).abs() < 1e-3);
+        } else {
+            prop_assert_eq!(w, v);
+        }
+    }
+
+    #[test]
+    fn min_max_brackets_every_element(v in finite_vec(20)) {
+        let (lo, hi) = vecs::min_max(&v);
+        for &x in &v {
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    #[test]
+    fn fwht_self_inverse_up_to_scale(seed in 0u64..1000, log_n in 2u32..8) {
+        let n = 1usize << log_n;
+        let (orig, _) = two_vecs(n, seed);
+        let mut v = orig.clone();
+        fwht(&mut v);
+        fwht(&mut v);
+        for (x, y) in v.iter().zip(orig.iter()) {
+            prop_assert!((x / n as f32 - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn l1_norm_dominates_l2_norm(v in finite_vec(24)) {
+        // ‖v‖₂ ≤ ‖v‖₁ ≤ √D·‖v‖₂.
+        let l1 = vecs::l1_norm_f64(&v);
+        let l2 = vecs::norm_sq_f64(&v).sqrt();
+        prop_assert!(l2 <= l1 + 1e-4);
+        prop_assert!(l1 <= (v.len() as f64).sqrt() * l2 + 1e-4);
+    }
+}
+
+fn two_vecs(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        rabitq_math::rng::standard_normal_vec(&mut rng, len),
+        rabitq_math::rng::standard_normal_vec(&mut rng, len),
+    )
+}

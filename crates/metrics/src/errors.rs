@@ -1,0 +1,121 @@
+//! Relative-error accounting for distance estimates.
+//!
+//! The paper measures the quality of a distance estimator with the
+//! *average* relative error (general quality) and the *maximum* relative
+//! error (robustness) over all (query, data vector) pairs — Section 5.1.
+
+/// Streaming accumulator of `|est − exact| / exact` statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RelativeErrorStats {
+    count: u64,
+    sum: f64,
+    max: f64,
+    /// Pairs where `exact ≤ 0` (identical vectors) — excluded from the
+    /// relative error but counted for transparency.
+    skipped: u64,
+}
+
+impl RelativeErrorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one (estimate, exact) pair of squared distances.
+    #[inline]
+    pub fn record(&mut self, estimate: f32, exact: f32) {
+        if exact <= 0.0 {
+            self.skipped += 1;
+            return;
+        }
+        let rel = ((estimate as f64) - (exact as f64)).abs() / exact as f64;
+        self.count += 1;
+        self.sum += rel;
+        if rel > self.max {
+            self.max = rel;
+        }
+    }
+
+    /// Merges another accumulator (for threaded collection).
+    pub fn merge(&mut self, other: &RelativeErrorStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.skipped += other.skipped;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Number of recorded pairs.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Average relative error (0 if nothing recorded).
+    #[inline]
+    pub fn average(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum relative error.
+    #[inline]
+    pub fn maximum(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of pairs skipped for a non-positive exact distance.
+    #[inline]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_and_max_are_computed_over_recorded_pairs() {
+        let mut s = RelativeErrorStats::new();
+        s.record(11.0, 10.0); // rel 0.1
+        s.record(8.0, 10.0); // rel 0.2
+        s.record(10.0, 10.0); // rel 0.0
+        assert_eq!(s.count(), 3);
+        assert!((s.average() - 0.1).abs() < 1e-9);
+        assert!((s.maximum() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exact_distances_are_skipped() {
+        let mut s = RelativeErrorStats::new();
+        s.record(5.0, 0.0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.skipped(), 1);
+        assert_eq!(s.average(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_partial_accumulators() {
+        let mut a = RelativeErrorStats::new();
+        a.record(11.0, 10.0);
+        let mut b = RelativeErrorStats::new();
+        b.record(15.0, 10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.maximum() - 0.5).abs() < 1e-9);
+        assert!((a.average() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let s = RelativeErrorStats::new();
+        assert_eq!(s.average(), 0.0);
+        assert_eq!(s.maximum(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+}

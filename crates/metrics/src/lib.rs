@@ -1,0 +1,21 @@
+//! # rabitq-metrics — evaluation metrics
+//!
+//! The exact metrics of the paper's Section 5.1:
+//!
+//! * [`errors`] — average and maximum *relative error* of estimated squared
+//!   distances (distance-estimation accuracy, Figure 3);
+//! * [`recall`] — recall@K and *average distance ratio* against exact
+//!   ground truth (ANN accuracy, Figure 4);
+//! * [`timer`] — wall-clock helpers for per-vector estimation time and QPS;
+//! * [`stats`] — least-squares regression (Figure 7's unbiasedness fit) and
+//!   histograms (Figure 8's distribution verification).
+
+pub mod errors;
+pub mod recall;
+pub mod stats;
+pub mod timer;
+
+pub use errors::RelativeErrorStats;
+pub use recall::{average_distance_ratio, recall_at_k};
+pub use stats::{linear_regression, Histogram, LinearFit};
+pub use timer::Stopwatch;

@@ -1,0 +1,101 @@
+//! ANN accuracy metrics: recall@K and average distance ratio (Section 5.1).
+
+/// Recall@K: fraction of the true top-K ids present among the returned ids.
+///
+/// `truth` is the exact top-K (ids); `returned` is the algorithm's answer
+/// (any length; only membership counts). Both follow the paper's protocol
+/// of K = 100.
+pub fn recall_at_k(truth: &[u32], returned: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<u32> = returned.iter().copied().collect();
+    let hits = truth.iter().filter(|id| set.contains(id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Average distance ratio of the returned K vectors w.r.t. the ground-truth
+/// K nearest: `mean_i (d_returned(i) / d_true(i))`, with both lists sorted
+/// ascending. Ratios are computed on *distances* (not squared), matching
+/// the paper's Figure 4 axis starting at 1.000.
+///
+/// If the algorithm returned fewer than `truth.len()` results, the missing
+/// entries are scored with the worst returned ratio (a conservative
+/// penalty); if it returned none, `f64::INFINITY`.
+pub fn average_distance_ratio(truth_sq: &[f32], returned_sq: &[f32]) -> f64 {
+    if truth_sq.is_empty() {
+        return 1.0;
+    }
+    if returned_sq.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut acc = 0.0f64;
+    let mut worst = 1.0f64;
+    let k = truth_sq.len();
+    for i in 0..k.min(returned_sq.len()) {
+        let t = (truth_sq[i] as f64).max(0.0).sqrt();
+        let r = (returned_sq[i] as f64).max(0.0).sqrt();
+        let ratio = if t > 0.0 {
+            (r / t).max(1.0)
+        } else if r > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        worst = worst.max(ratio);
+        acc += ratio;
+    }
+    let missing = k.saturating_sub(returned_sq.len());
+    acc += worst * missing as f64;
+    acc / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_answer_has_recall_one_and_ratio_one() {
+        let truth = [1u32, 2, 3, 4];
+        assert_eq!(recall_at_k(&truth, &truth), 1.0);
+        let d = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(average_distance_ratio(&d, &d), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_membership_not_order() {
+        let truth = [1u32, 2, 3, 4];
+        let returned = [4u32, 3, 9, 1];
+        assert!((recall_at_k(&truth, &returned) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_penalizes_farther_results() {
+        let truth = [1.0f32, 4.0]; // distances 1, 2
+        let ret = [4.0f32, 16.0]; // distances 2, 4
+        assert!((average_distance_ratio(&truth, &ret) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_is_clamped_below_by_one() {
+        // A "returned" set can transiently contain a smaller i-th distance
+        // when K differs; the per-position ratio is clamped at 1.
+        let truth = [4.0f32];
+        let ret = [1.0f32];
+        assert_eq!(average_distance_ratio(&truth, &ret), 1.0);
+    }
+
+    #[test]
+    fn missing_results_are_penalized() {
+        let truth = [1.0f32, 1.0, 1.0, 1.0];
+        let ret = [4.0f32]; // ratio 2, and 3 missing entries scored 2
+        assert!((average_distance_ratio(&truth, &ret) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_behave() {
+        assert_eq!(recall_at_k(&[], &[1]), 1.0);
+        assert_eq!(average_distance_ratio(&[], &[]), 1.0);
+        assert_eq!(average_distance_ratio(&[1.0], &[]), f64::INFINITY);
+    }
+}

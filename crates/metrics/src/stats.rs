@@ -1,0 +1,187 @@
+//! Small statistics helpers for the verification experiments.
+
+/// Result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
+///
+/// Figure 7 of the paper fits estimated-vs-true distances: an unbiased
+/// estimator yields `slope ≈ 1, intercept ≈ 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Least-squares slope.
+    pub slope: f64,
+    /// Least-squares intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over paired samples.
+///
+/// # Panics
+/// Panics if the inputs differ in length or have fewer than 2 points.
+pub fn linear_regression(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "paired samples");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if sxx > 0.0 && syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// A fixed-range histogram used by the distribution-verification figures.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    outside: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "bins must be positive");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            outside: 0,
+        }
+    }
+
+    /// Records a sample; out-of-range samples are tallied separately.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.lo || v >= self.hi {
+            self.outside += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((v - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Raw count of bin `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Empirical probability *density* at bin `i` (integrates to the
+    /// in-range mass), comparable against a theoretical pdf.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / self.total as f64 / width
+    }
+
+    /// Samples recorded outside `[lo, hi)`.
+    #[inline]
+    pub fn outside(&self) -> u64 {
+        self.outside
+    }
+
+    /// Total samples recorded (including out-of-range).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_recovers_exact_line() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.5 * v - 3.0).collect();
+        let fit = linear_regression(&x, &y);
+        assert!((fit.slope - 2.5).abs() < 1e-12);
+        assert!((fit.intercept + 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_on_noisy_line_has_lower_r2() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = linear_regression(&x, &y);
+        assert!((fit.slope - 1.0).abs() < 0.05);
+        assert!(fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn histogram_densities_integrate_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let width = 0.1;
+        let mass: f64 = (0..10).map(|i| h.density(i) * width).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_tracks_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.5);
+        h.record(0.5);
+        h.record(2.0);
+        assert_eq!(h.outside(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the metrics crate.
+
+use proptest::prelude::*;
+use rabitq_metrics::{average_distance_ratio, linear_regression, recall_at_k, Histogram, RelativeErrorStats};
+
+proptest! {
+    #[test]
+    fn recall_is_a_fraction_in_unit_interval(
+        truth in proptest::collection::vec(0u32..50, 0..20),
+        returned in proptest::collection::vec(0u32..50, 0..20),
+    ) {
+        let r = recall_at_k(&truth, &returned);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn recall_of_superset_is_one(truth in proptest::collection::vec(0u32..100, 1..20)) {
+        let mut superset = truth.clone();
+        superset.extend(100..120);
+        prop_assert_eq!(recall_at_k(&truth, &superset), 1.0);
+    }
+
+    #[test]
+    fn distance_ratio_at_least_one(
+        pairs in proptest::collection::vec((0.01f32..100.0, 0.01f32..100.0), 1..20),
+    ) {
+        let mut truth: Vec<f32> = pairs.iter().map(|&(t, _)| t).collect();
+        let mut ret: Vec<f32> = pairs.iter().map(|&(_, r)| r).collect();
+        truth.sort_by(|a, b| a.total_cmp(b));
+        ret.sort_by(|a, b| a.total_cmp(b));
+        let ratio = average_distance_ratio(&truth, &ret);
+        prop_assert!(ratio >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn error_stats_average_bounded_by_max(
+        pairs in proptest::collection::vec((0.0f32..100.0, 0.01f32..100.0), 1..50),
+    ) {
+        let mut s = RelativeErrorStats::new();
+        for &(est, exact) in &pairs {
+            s.record(est, exact);
+        }
+        prop_assert!(s.average() <= s.maximum() + 1e-12);
+        prop_assert_eq!(s.count(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording(
+        a in proptest::collection::vec((0.0f32..10.0, 0.1f32..10.0), 1..20),
+        b in proptest::collection::vec((0.0f32..10.0, 0.1f32..10.0), 1..20),
+    ) {
+        let mut merged = RelativeErrorStats::new();
+        for &(e, x) in a.iter().chain(b.iter()) {
+            merged.record(e, x);
+        }
+        let mut left = RelativeErrorStats::new();
+        for &(e, x) in &a { left.record(e, x); }
+        let mut right = RelativeErrorStats::new();
+        for &(e, x) in &b { right.record(e, x); }
+        left.merge(&right);
+        prop_assert!((left.average() - merged.average()).abs() < 1e-12);
+        prop_assert_eq!(left.maximum(), merged.maximum());
+    }
+
+    #[test]
+    fn regression_recovers_arbitrary_lines(slope in -10.0f64..10.0, intercept in -10.0f64..10.0) {
+        let x: Vec<f64> = (0..30).map(|i| i as f64 / 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| slope * v + intercept).collect();
+        let fit = linear_regression(&x, &y);
+        prop_assert!((fit.slope - slope).abs() < 1e-9);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-8);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(values in proptest::collection::vec(-2.0f64..2.0, 0..200)) {
+        let mut h = Histogram::new(-1.0, 1.0, 8);
+        for &v in &values {
+            h.record(v);
+        }
+        let inside: u64 = (0..h.bins()).map(|b| h.count(b)).sum();
+        prop_assert_eq!(inside + h.outside(), values.len() as u64);
+    }
+}

@@ -1,0 +1,24 @@
+//! # rabitq-pq — PQ and OPQ baselines
+//!
+//! From-scratch implementations of the quantization baselines the RaBitQ
+//! paper compares against (Section 5.1):
+//!
+//! * [`pq`] — Product Quantization with `k = 8` (`x8-single`: f32 LUTs in
+//!   RAM) and `k = 4` codes;
+//! * [`fastscan`] — the `x4fs-batch` SIMD fast scan with u8-quantized LUTs,
+//!   sharing kernels with `rabitq-core` and faithfully reproducing the u8
+//!   dynamic-range failure mode behind PQ's MSong collapse;
+//! * [`opq`] — Optimized PQ: a learned orthogonal rotation fitted by
+//!   alternating Procrustes, the strongest stable baseline in the paper.
+//!
+//! These estimators are **biased** (they treat the quantized vector as the
+//! data vector) and provide no error bound — which is precisely the gap
+//! RaBitQ closes.
+
+pub mod fastscan;
+pub mod opq;
+pub mod pq;
+
+pub use fastscan::{PqPacked, QuantizedLuts};
+pub use opq::{Opq, OpqConfig};
+pub use pq::{PqCodes, PqConfig, ProductQuantizer};

@@ -1,0 +1,390 @@
+//! Product Quantization (Jégou et al., TPAMI 2011) — the paper's primary
+//! baseline.
+//!
+//! A `D`-dimensional vector is split into `M` sub-segments of `D/M`
+//! dimensions; each sub-segment is quantized to the nearest of `2^k`
+//! KMeans centroids. Distances are estimated with **asymmetric distance
+//! computation** (ADC): per query, `M` look-up tables of squared distances
+//! between the query sub-segments and every centroid are precomputed, and a
+//! code's distance estimate is the sum of `M` table entries.
+//!
+//! Defaults follow the paper's setup: `k = 8` for the `x8-single`
+//! configuration (f32 LUTs read from RAM) and `k = 4` for the `x4fs-batch`
+//! fast-scan configuration (u8-quantized LUTs in SIMD registers, in
+//! [`crate::fastscan`]). As the paper stresses, this estimator treats the
+//! quantized vector as the data vector: it is biased and carries no error
+//! bound.
+
+use rabitq_kmeans::{train as kmeans_train, KMeansConfig};
+use rabitq_math::vecs;
+
+/// Configuration for [`ProductQuantizer::train`].
+#[derive(Clone, Debug)]
+pub struct PqConfig {
+    /// Number of sub-segments `M`; must divide the dimensionality.
+    pub m: usize,
+    /// Bits per sub-quantizer (`k`): 8 → 256 centroids, 4 → 16 centroids.
+    pub k_bits: u8,
+    /// KMeans iterations per sub-quantizer.
+    pub train_iters: usize,
+    /// Cap on training points per sub-quantizer (sampled without
+    /// replacement), Faiss-style. `None` trains on everything.
+    pub training_sample: Option<usize>,
+    /// RNG seed for the sub-quantizer KMeans.
+    pub seed: u64,
+}
+
+impl PqConfig {
+    /// The paper's default shape: `M = D/2` segments with `k = 4`
+    /// (i.e. 2 bits per dimension) for the fast-scan variant.
+    pub fn x4(m: usize) -> Self {
+        Self {
+            m,
+            k_bits: 4,
+            train_iters: 25,
+            training_sample: Some(100_000),
+            seed: 0x5051, // "PQ"
+        }
+    }
+
+    /// The classical `k = 8` variant.
+    pub fn x8(m: usize) -> Self {
+        Self {
+            k_bits: 8,
+            ..Self::x4(m)
+        }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Clone, Debug)]
+pub struct ProductQuantizer {
+    dim: usize,
+    m: usize,
+    k_bits: u8,
+    dsub: usize,
+    /// `m × 2^k × dsub` centroids, flattened.
+    codebooks: Vec<f32>,
+}
+
+/// Codes for a set of vectors: `n × m` bytes (one centroid id per segment,
+/// stored unpacked even for `k = 4`; the fast-scan packer re-packs nibbles).
+#[derive(Clone, Debug, Default)]
+pub struct PqCodes {
+    /// Number of sub-segments per vector.
+    pub m: usize,
+    /// Flat `n × m` centroid ids.
+    pub codes: Vec<u8>,
+}
+
+impl PqCodes {
+    /// Number of encoded vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.m == 0 {
+            0
+        } else {
+            self.codes.len() / self.m
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The code of vector `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.m..(i + 1) * self.m]
+    }
+}
+
+impl ProductQuantizer {
+    /// Trains `M` sub-codebooks with KMeans over `data` (flat `n × dim`).
+    ///
+    /// # Panics
+    /// Panics if `config.m` does not divide `dim`, `k_bits ∉ {4, 8}`, or
+    /// `data` is empty.
+    pub fn train(data: &[f32], dim: usize, config: &PqConfig) -> Self {
+        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(
+            config.m > 0 && dim % config.m == 0,
+            "M = {} must divide D = {dim}",
+            config.m
+        );
+        assert!(
+            config.k_bits == 4 || config.k_bits == 8,
+            "k must be 4 or 8 (paper setup)"
+        );
+        let n = data.len() / dim;
+        assert!(n > 0, "cannot train on an empty dataset");
+        let dsub = dim / config.m;
+        let k = 1usize << config.k_bits;
+
+        let mut codebooks = vec![0.0f32; config.m * k * dsub];
+        let mut sub_data = vec![0.0f32; n * dsub];
+        for seg in 0..config.m {
+            // Gather the segment's columns into a contiguous training set.
+            for i in 0..n {
+                sub_data[i * dsub..(i + 1) * dsub]
+                    .copy_from_slice(&data[i * dim + seg * dsub..i * dim + (seg + 1) * dsub]);
+            }
+            let mut km_cfg = KMeansConfig::new(k);
+            km_cfg.max_iters = config.train_iters;
+            km_cfg.seed = config.seed.wrapping_add(seg as u64);
+            km_cfg.training_sample = config.training_sample;
+            let km = kmeans_train(&sub_data, dsub, &km_cfg);
+            let dst = &mut codebooks[seg * k * dsub..(seg + 1) * k * dsub];
+            // KMeans may clamp k below 2^k_bits on tiny inputs; duplicate
+            // the last centroid so unused ids still decode to something.
+            for c in 0..k {
+                let src = km.centroid(c.min(km.k() - 1));
+                dst[c * dsub..(c + 1) * dsub].copy_from_slice(src);
+            }
+        }
+        Self {
+            dim,
+            m: config.m,
+            k_bits: config.k_bits,
+            dsub,
+            codebooks,
+        }
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of sub-segments `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Bits per sub-quantizer.
+    #[inline]
+    pub fn k_bits(&self) -> u8 {
+        self.k_bits
+    }
+
+    /// Centroids of sub-quantizer `seg`: `2^k × dsub`, flattened.
+    #[inline]
+    pub fn codebook(&self, seg: usize) -> &[f32] {
+        let k = 1usize << self.k_bits;
+        &self.codebooks[seg * k * self.dsub..(seg + 1) * k * self.dsub]
+    }
+
+    /// Centroid `c` of sub-quantizer `seg`.
+    #[inline]
+    pub fn centroid(&self, seg: usize, c: usize) -> &[f32] {
+        let book = self.codebook(seg);
+        &book[c * self.dsub..(c + 1) * self.dsub]
+    }
+
+    /// Encodes one vector: the nearest centroid id per segment.
+    pub fn encode(&self, v: &[f32], out: &mut Vec<u8>) {
+        assert_eq!(v.len(), self.dim, "vector dimensionality");
+        let k = 1usize << self.k_bits;
+        for seg in 0..self.m {
+            let sub = &v[seg * self.dsub..(seg + 1) * self.dsub];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = vecs::l2_sq(self.centroid(seg, c), sub);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            out.push(best as u8);
+        }
+    }
+
+    /// Encodes a batch of vectors.
+    pub fn encode_set<'a, I>(&self, vectors: I) -> PqCodes
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut codes = PqCodes {
+            m: self.m,
+            codes: Vec::new(),
+        };
+        for v in vectors {
+            self.encode(v, &mut codes.codes);
+        }
+        codes
+    }
+
+    /// Reconstructs the quantized vector of a code.
+    pub fn decode(&self, code: &[u8], out: &mut [f32]) {
+        assert_eq!(code.len(), self.m, "code length");
+        assert_eq!(out.len(), self.dim, "output length");
+        for (seg, &c) in code.iter().enumerate() {
+            out[seg * self.dsub..(seg + 1) * self.dsub]
+                .copy_from_slice(self.centroid(seg, c as usize));
+        }
+    }
+
+    /// Builds the per-query ADC look-up tables: `m × 2^k` squared distances
+    /// between query sub-segments and centroids.
+    pub fn build_luts(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "query dimensionality");
+        let k = 1usize << self.k_bits;
+        let mut luts = vec![0.0f32; self.m * k];
+        for seg in 0..self.m {
+            let sub = &query[seg * self.dsub..(seg + 1) * self.dsub];
+            for c in 0..k {
+                luts[seg * k + c] = vecs::l2_sq(self.centroid(seg, c), sub);
+            }
+        }
+        luts
+    }
+
+    /// ADC distance estimate for one code: `Σ_seg lut[seg][code[seg]]`.
+    /// This is the `x8-single` scan — `M` dependent loads from RAM.
+    #[inline]
+    pub fn adc_distance(&self, luts: &[f32], code: &[u8]) -> f32 {
+        let k = 1usize << self.k_bits;
+        debug_assert_eq!(code.len(), self.m);
+        debug_assert_eq!(luts.len(), self.m * k);
+        code.iter()
+            .enumerate()
+            .map(|(seg, &c)| luts[seg * k + c as usize])
+            .sum()
+    }
+
+    /// Mean squared reconstruction error over a dataset — the PQ training
+    /// objective, used by tests and the OPQ alternating loop.
+    pub fn reconstruction_mse(&self, data: &[f32]) -> f64 {
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut code = Vec::with_capacity(self.m);
+        let mut rec = vec![0.0f32; self.dim];
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            let v = &data[i * self.dim..(i + 1) * self.dim];
+            code.clear();
+            self.encode(v, &mut code);
+            self.decode(&code, &mut rec);
+            acc += vecs::l2_sq(v, &rec) as f64;
+        }
+        acc / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabitq_math::rng::standard_normal_vec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        standard_normal_vec(&mut rng, n * dim)
+    }
+
+    fn config(m: usize, k_bits: u8) -> PqConfig {
+        PqConfig {
+            m,
+            k_bits,
+            train_iters: 15,
+            training_sample: None,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn adc_distance_equals_distance_to_reconstruction() {
+        let dim = 16;
+        let data = gaussian_data(300, dim, 1);
+        let pq = ProductQuantizer::train(&data, dim, &config(4, 4));
+        let codes = pq.encode_set(data.chunks_exact(dim));
+        let query = &gaussian_data(1, dim, 2)[..];
+        let luts = pq.build_luts(query);
+        let mut rec = vec![0.0f32; dim];
+        for i in 0..codes.len() {
+            let adc = pq.adc_distance(&luts, codes.code(i));
+            pq.decode(codes.code(i), &mut rec);
+            let direct = vecs::l2_sq(query, &rec);
+            assert!(
+                (adc - direct).abs() < 1e-3 * (1.0 + direct),
+                "code {i}: {adc} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_picks_the_nearest_centroid_per_segment() {
+        let dim = 8;
+        let data = gaussian_data(200, dim, 3);
+        let pq = ProductQuantizer::train(&data, dim, &config(2, 4));
+        let v = &data[..dim];
+        let mut code = Vec::new();
+        pq.encode(v, &mut code);
+        for seg in 0..2 {
+            let sub = &v[seg * 4..(seg + 1) * 4];
+            let chosen = vecs::l2_sq(pq.centroid(seg, code[seg] as usize), sub);
+            for c in 0..16 {
+                assert!(vecs::l2_sq(pq.centroid(seg, c), sub) + 1e-6 >= chosen);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_beats_zero_codebook_baseline() {
+        let dim = 32;
+        let data = gaussian_data(500, dim, 4);
+        let pq = ProductQuantizer::train(&data, dim, &config(16, 4));
+        let mse = pq.reconstruction_mse(&data);
+        // Quantizing to the mean alone would give MSE ≈ dim (unit
+        // variance); PQ with 16 segments must do much better.
+        assert!(mse < dim as f64 * 0.5, "MSE {mse}");
+    }
+
+    #[test]
+    fn more_bits_reduce_reconstruction_error() {
+        let dim = 16;
+        let data = gaussian_data(600, dim, 5);
+        let pq4 = ProductQuantizer::train(&data, dim, &config(4, 4));
+        let pq8 = ProductQuantizer::train(&data, dim, &config(4, 8));
+        assert!(
+            pq8.reconstruction_mse(&data) < pq4.reconstruction_mse(&data),
+            "k=8 should reconstruct better than k=4"
+        );
+    }
+
+    #[test]
+    fn codes_round_trip_through_storage() {
+        let dim = 8;
+        let data = gaussian_data(50, dim, 6);
+        let pq = ProductQuantizer::train(&data, dim, &config(4, 4));
+        let codes = pq.encode_set(data.chunks_exact(dim));
+        assert_eq!(codes.len(), 50);
+        let mut direct = Vec::new();
+        pq.encode(&data[dim * 7..dim * 8], &mut direct);
+        assert_eq!(codes.code(7), &direct[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn m_not_dividing_dim_is_rejected() {
+        let data = gaussian_data(10, 10, 7);
+        ProductQuantizer::train(&data, 10, &config(3, 4));
+    }
+
+    #[test]
+    fn k4_codes_stay_in_nibble_range() {
+        let dim = 8;
+        let data = gaussian_data(100, dim, 8);
+        let pq = ProductQuantizer::train(&data, dim, &config(4, 4));
+        let codes = pq.encode_set(data.chunks_exact(dim));
+        assert!(codes.codes.iter().all(|&c| c < 16));
+    }
+}

@@ -1,0 +1,92 @@
+//! The error bound as a *filter*: RaBitQ's confidence interval
+//! (Theorem 3.2) lets a scan discard most candidates without touching the
+//! raw vectors, while guaranteeing (w.h.p.) that no true neighbor is lost.
+//!
+//! This example runs a threshold query — "find every vector within
+//! distance `r` of the query" — using only the codes plus bound, then
+//! verifies against the exact answer.
+//!
+//! ```text
+//! cargo run --release --example error_bound_filtering
+//! ```
+
+use rabitq::core::{Rabitq, RabitqConfig};
+use rabitq::math::rng::standard_normal_vec;
+use rabitq::math::vecs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dim = 384;
+    let n = 20_000;
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let data: Vec<Vec<f32>> = (0..n)
+        .map(|_| standard_normal_vec(&mut rng, dim))
+        .collect();
+    let centroid = vec![0.0f32; dim];
+
+    let quantizer = Rabitq::new(dim, RabitqConfig::default());
+    let codes = quantizer.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+    let packed = quantizer.pack(&codes);
+
+    let query = standard_normal_vec(&mut rng, dim);
+    let prepared = quantizer.prepare_query(&query, &centroid, &mut rng);
+
+    // Radius chosen to accept roughly the nearest ~1% of vectors.
+    let mut exact: Vec<f32> = data.iter().map(|v| vecs::l2_sq(v, &query)).collect();
+    let mut sorted = exact.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let radius_sq = sorted[n / 100];
+
+    // ---- Filter with codes only. ----
+    let mut estimates = Vec::new();
+    quantizer.estimate_batch(&prepared, &packed, &codes, &mut estimates);
+    let mut survivors = Vec::new();
+    let mut certified_in = 0usize;
+    for (i, est) in estimates.iter().enumerate() {
+        // Candidate may be within the radius unless its lower bound says no.
+        if est.lower_bound <= radius_sq {
+            survivors.push(i);
+            // Dual use of the interval: if even the UPPER bound is inside
+            // the radius, membership is certified without the raw vector.
+            if est.upper_bound <= radius_sq {
+                certified_in += 1;
+            }
+        }
+    }
+
+    // ---- Verify: every true in-radius vector must have survived. ----
+    let truly_inside: Vec<usize> = (0..n).filter(|&i| exact[i] <= radius_sq).collect();
+    let survivor_set: std::collections::HashSet<usize> = survivors.iter().copied().collect();
+    let missed = truly_inside
+        .iter()
+        .filter(|i| !survivor_set.contains(i))
+        .count();
+
+    println!("threshold query: dist^2 <= {radius_sq:.1} over {n} vectors (D = {dim})");
+    println!("  true matches        : {}", truly_inside.len());
+    println!(
+        "  candidates surviving the bound filter: {} ({:.1}% of the dataset)",
+        survivors.len(),
+        survivors.len() as f64 / n as f64 * 100.0
+    );
+    println!(
+        "  of those, certified inside by the upper bound (no exact check needed): {certified_in}"
+    );
+    println!(
+        "  true matches missed by the filter    : {missed} (bound holds w.p. ~1-2e^(-c*eps0^2))"
+    );
+    println!(
+        "  raw-vector distance computations saved: {:.1}%",
+        (1.0 - survivors.len() as f64 / n as f64) * 100.0
+    );
+
+    // Final answer = exact check on survivors only.
+    exact.truncate(n);
+    let answer: Vec<usize> = survivors
+        .into_iter()
+        .filter(|&i| exact[i] <= radius_sq)
+        .collect();
+    println!("  exact answer after re-check          : {} vectors", answer.len());
+}

@@ -1,0 +1,68 @@
+//! Streaming ingest: build an IVF-RaBitQ index over an initial batch, then
+//! keep inserting live vectors while serving queries — and persist the
+//! index to disk between sessions.
+//!
+//! ```text
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use rabitq::core::RabitqConfig;
+use rabitq::data::registry::PaperDataset;
+use rabitq::ivf::{IvfConfig, IvfRabitq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = PaperDataset::Deep.generate(12_000, 20, 13);
+    let (initial, live) = ds.data.split_at(10_000 * ds.dim);
+
+    // ---- Session 1: bootstrap over the initial batch. ----
+    let mut index = IvfRabitq::build(
+        initial,
+        ds.dim,
+        &IvfConfig::new(IvfConfig::clusters_for(10_000)),
+        RabitqConfig::default(),
+    );
+    println!(
+        "bootstrapped: {} vectors, {} buckets",
+        index.len(),
+        index.n_buckets()
+    );
+
+    // ---- Live phase: interleave inserts and searches. ----
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut last_hit = 0u32;
+    for (step, vector) in live.chunks_exact(ds.dim).enumerate() {
+        let id = index.insert(vector);
+        if step % 500 == 0 {
+            // The vector just inserted must be findable immediately.
+            let res = index.search(vector, 1, 8, &mut rng);
+            assert_eq!(res.neighbors[0].0, id, "self-lookup after insert");
+            last_hit = id;
+        }
+    }
+    println!(
+        "ingested {} live vectors (self-lookup verified through id {last_hit})",
+        live.len() / ds.dim
+    );
+
+    // ---- Persist and reload. ----
+    let path = std::env::temp_dir().join("streaming_ingest.rbq");
+    index.save(&path).expect("save index");
+    let size_mb = std::fs::metadata(&path).map(|m| m.len() as f64 / 1e6).unwrap_or(0.0);
+    let restored = IvfRabitq::load(&path).expect("load index");
+    std::fs::remove_file(&path).ok();
+    println!(
+        "persisted + reloaded: {} vectors, {:.1} MB on disk",
+        restored.len(),
+        size_mb
+    );
+
+    // The restored index serves the same queries.
+    let mut rng_a = StdRng::seed_from_u64(3);
+    let mut rng_b = StdRng::seed_from_u64(3);
+    let a = index.search(ds.query(0), 10, 16, &mut rng_a);
+    let b = restored.search(ds.query(0), 10, 16, &mut rng_b);
+    assert_eq!(a.neighbors, b.neighbors);
+    println!("restored index returns identical results — done.");
+}

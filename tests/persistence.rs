@@ -1,0 +1,114 @@
+//! Index persistence: save/load round-trips must preserve search behaviour
+//! exactly (same rotation, same codes, same factors ⇒ same estimates).
+
+use rabitq::core::{Rabitq, RabitqConfig, RotatorKind};
+use rabitq::data::registry::PaperDataset;
+use rabitq::ivf::{IvfConfig, IvfRabitq};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rabitq-persist-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn ivf_index_round_trips_with_identical_search_results() {
+    let ds = PaperDataset::Sift.generate(1_500, 8, 3);
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(10),
+        RabitqConfig::default(),
+    );
+    let path = tmp_path("ivf");
+    index.save(&path).unwrap();
+    let loaded = IvfRabitq::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.len(), index.len());
+    assert_eq!(loaded.n_buckets(), index.n_buckets());
+    for qi in 0..ds.n_queries() {
+        // Identical RNG stream ⇒ identical randomized rounding ⇒ results
+        // must match exactly.
+        let mut rng_a = StdRng::seed_from_u64(qi as u64);
+        let mut rng_b = StdRng::seed_from_u64(qi as u64);
+        let a = index.search(ds.query(qi), 10, 10, &mut rng_a);
+        let b = loaded.search(ds.query(qi), 10, 10, &mut rng_b);
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}");
+        assert_eq!(a.n_reranked, b.n_reranked);
+    }
+}
+
+#[test]
+fn quantizer_round_trips_for_every_rotator_kind() {
+    let dim = 100;
+    let mut rng = StdRng::seed_from_u64(5);
+    let v = rabitq::math::rng::standard_normal_vec(&mut rng, dim);
+    for kind in [
+        RotatorKind::DenseOrthogonal,
+        RotatorKind::RandomizedHadamard,
+        RotatorKind::Identity,
+    ] {
+        let q = Rabitq::new(
+            dim,
+            RabitqConfig {
+                rotator: kind,
+                ..RabitqConfig::default()
+            },
+        );
+        let mut buf = Vec::new();
+        q.write(&mut buf).unwrap();
+        let q2 = Rabitq::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(q2.dim(), q.dim());
+        assert_eq!(q2.padded_dim(), q.padded_dim());
+        assert_eq!(q2.config().rotator, kind);
+        // The restored rotation must be numerically identical.
+        assert_eq!(q.rotate(&v), q2.rotate(&v), "{kind:?}");
+    }
+}
+
+#[test]
+fn code_sets_round_trip_bit_for_bit() {
+    let dim = 64;
+    let q = Rabitq::new(dim, RabitqConfig::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let data: Vec<Vec<f32>> = (0..50)
+        .map(|_| rabitq::math::rng::standard_normal_vec(&mut rng, dim))
+        .collect();
+    let centroid = vec![0.0f32; dim];
+    let codes = q.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+    let mut buf = Vec::new();
+    codes.write(&mut buf).unwrap();
+    let restored = rabitq::core::CodeSet::read(&mut buf.as_slice()).unwrap();
+    assert_eq!(restored.len(), codes.len());
+    for i in 0..codes.len() {
+        assert_eq!(restored.code_bits(i), codes.code_bits(i));
+        assert_eq!(restored.factors(i), codes.factors(i));
+    }
+}
+
+#[test]
+fn corrupted_files_are_rejected_not_misread() {
+    let ds = PaperDataset::Image.generate(300, 2, 7);
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(4),
+        RabitqConfig::default(),
+    );
+    let path = tmp_path("corrupt");
+    index.save(&path).unwrap();
+
+    // Truncation.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(IvfRabitq::load(&path).is_err());
+
+    // Wrong magic.
+    let mut wrong = bytes.clone();
+    wrong[0] = b'X';
+    std::fs::write(&path, &wrong).unwrap();
+    assert!(IvfRabitq::load(&path).is_err());
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,200 @@
+//! Statistical verification tests: seeded, tolerance-banded checks that
+//! the implementation matches the paper's *quantitative* theory, not just
+//! its API contracts. These are the test-suite counterparts of the
+//! verification experiments (Figures 1, 5–8).
+
+use rabitq::core::{Rabitq, RabitqConfig};
+use rabitq::math::rng::standard_normal_vec;
+use rabitq::math::special::expected_code_alignment;
+use rabitq::math::vecs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Encodes `n` unit Gaussian vectors and returns the mean ⟨ō,o⟩.
+fn mean_alignment(dim: usize, n: usize, seed: u64) -> f64 {
+    let q = Rabitq::new(
+        dim,
+        RabitqConfig {
+            seed,
+            padded_dim: Some(dim.div_ceil(64) * 64),
+            ..RabitqConfig::default()
+        },
+    );
+    let centroid = vec![0.0f32; dim];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA11);
+    let data: Vec<Vec<f32>> = (0..n)
+        .map(|_| standard_normal_vec(&mut rng, dim))
+        .collect();
+    let codes = q.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+    (0..n).map(|i| codes.factors(i).ip_oo as f64).sum::<f64>() / n as f64
+}
+
+#[test]
+fn alignment_matches_closed_form_across_dimensions() {
+    // E[⟨ō,o⟩] = √(D/π)·2Γ(D/2)/((D−1)Γ((D−1)/2)) — Appendix B.1, Eq. 36.
+    for dim in [128usize, 256, 512] {
+        let measured = mean_alignment(dim, 400, 7);
+        let theory = expected_code_alignment(dim);
+        assert!(
+            (measured - theory).abs() < 0.01,
+            "D={dim}: measured {measured:.4} vs theory {theory:.4}"
+        );
+    }
+}
+
+#[test]
+fn ip_estimation_error_decays_as_inverse_sqrt_dimension() {
+    // Theorem 3.2: |est − ⟨o,q⟩| = O(1/√D). Fit the measured RMS error at
+    // three dimensions against C/√D; the fitted exponent must be ≈ −0.5.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for dim in [128usize, 512, 2048] {
+        let q = Rabitq::new(
+            dim,
+            RabitqConfig {
+                seed: 3,
+                ..RabitqConfig::default()
+            },
+        );
+        let centroid = vec![0.0f32; dim];
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 150;
+        let data: Vec<Vec<f32>> = (0..n)
+            .map(|_| standard_normal_vec(&mut rng, dim))
+            .collect();
+        let codes = q.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+        let query = standard_normal_vec(&mut rng, dim);
+        let prepared = q.prepare_query(&query, &centroid, &mut rng);
+        let mut q_unit = query.clone();
+        let q_norm = vecs::normalize(&mut q_unit);
+        assert!(q_norm > 0.0);
+        let mut sq_err = 0.0f64;
+        for (i, v) in data.iter().enumerate() {
+            let mut o_unit = v.clone();
+            vecs::normalize(&mut o_unit);
+            let true_ip = vecs::dot(&o_unit, &q_unit) as f64;
+            let est = q.estimate(&prepared, &codes, i).ip_est as f64;
+            sq_err += (est - true_ip).powi(2);
+        }
+        let rms = (sq_err / n as f64).sqrt();
+        points.push(((dim as f64).ln(), rms.ln()));
+    }
+    // Least-squares slope of ln(rms) vs ln(D).
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let slope = points
+        .iter()
+        .map(|p| (p.0 - mx) * (p.1 - my))
+        .sum::<f64>()
+        / points.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+    assert!(
+        (-0.65..=-0.35).contains(&slope),
+        "error-decay exponent {slope:.3}, expected ≈ −0.5"
+    );
+}
+
+#[test]
+fn estimator_is_unbiased_over_many_rotations() {
+    // Fix one (o, q) pair; re-sample the rotation many times. The mean of
+    // the estimates must approach the true inner product (Theorem 3.2's
+    // unbiasedness is over the rotation randomness).
+    let dim = 64;
+    let mut rng = StdRng::seed_from_u64(5);
+    let o = {
+        let mut v = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut v);
+        v
+    };
+    let q_vec = {
+        let mut v = standard_normal_vec(&mut rng, dim);
+        vecs::normalize(&mut v);
+        v
+    };
+    let true_ip = vecs::dot(&o, &q_vec) as f64;
+    let centroid = vec![0.0f32; dim];
+    let trials = 600;
+    let mut sum = 0.0f64;
+    for t in 0..trials {
+        let quantizer = Rabitq::new(
+            dim,
+            RabitqConfig {
+                seed: 1000 + t,
+                padded_dim: Some(dim),
+                ..RabitqConfig::default()
+            },
+        );
+        let codes = quantizer.encode_set(std::iter::once(o.as_slice()), &centroid);
+        let prepared = quantizer.prepare_query(&q_vec, &centroid, &mut rng);
+        sum += quantizer.estimate(&prepared, &codes, 0).ip_est as f64;
+    }
+    let mean = sum / trials as f64;
+    // Per-trial std ≈ 0.75/√63 ≈ 0.095 ⇒ SEM ≈ 0.0039; allow 4 SEM.
+    assert!(
+        (mean - true_ip).abs() < 0.016,
+        "mean estimate {mean:.4} vs true {true_ip:.4}"
+    );
+}
+
+#[test]
+fn bound_failure_rate_scales_with_epsilon() {
+    // P(miss) ≈ P(|N(0,1)| > ε₀)/1-sided: halving ε₀ must raise the
+    // violation rate substantially; ε₀ = 4 must make it vanish.
+    let dim = 128;
+    let quantizer = Rabitq::new(dim, RabitqConfig::default());
+    let centroid = vec![0.0f32; dim];
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 2_000;
+    let data: Vec<Vec<f32>> = (0..n)
+        .map(|_| standard_normal_vec(&mut rng, dim))
+        .collect();
+    let codes = quantizer.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+    let query = standard_normal_vec(&mut rng, dim);
+    let prepared = quantizer.prepare_query(&query, &centroid, &mut rng);
+    let violations = |eps: f32| -> usize {
+        (0..n)
+            .filter(|&i| {
+                let est = quantizer.estimate_with_epsilon(&prepared, &codes, i, eps);
+                est.lower_bound > vecs::l2_sq(&data[i], &query)
+            })
+            .count()
+    };
+    let v_half = violations(0.95);
+    let v_default = violations(1.9);
+    let v_wide = violations(4.0);
+    assert!(v_half > v_default * 2, "{v_half} vs {v_default}");
+    assert_eq!(v_wide, 0, "ε₀ = 4 should never miss at this scale");
+}
+
+#[test]
+fn query_quantization_noise_is_negligible_at_bq4() {
+    // Theorem 3.3: at B_q = 4 the scalar-quantization error must be an
+    // order of magnitude below the estimator's own error.
+    let dim = 256;
+    let quantizer = Rabitq::new(dim, RabitqConfig::default());
+    let centroid = vec![0.0f32; dim];
+    let mut rng = StdRng::seed_from_u64(17);
+    let n = 300;
+    let data: Vec<Vec<f32>> = (0..n)
+        .map(|_| standard_normal_vec(&mut rng, dim))
+        .collect();
+    let codes = quantizer.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
+    let query = standard_normal_vec(&mut rng, dim);
+
+    // Same query quantized at B_q = 4 and B_q = 8; the estimate difference
+    // is (almost) purely scalar-quantization noise.
+    let prep4 = quantizer.prepare_query_bq(&query, &centroid, 4, &mut rng);
+    let prep8 = quantizer.prepare_query_bq(&query, &centroid, 8, &mut rng);
+    let mut quant_noise = 0.0f64;
+    let mut est_error = 0.0f64;
+    for (i, v) in data.iter().enumerate() {
+        let e4 = quantizer.estimate(&prep4, &codes, i).dist_sq as f64;
+        let e8 = quantizer.estimate(&prep8, &codes, i).dist_sq as f64;
+        let exact = vecs::l2_sq(v, &query) as f64;
+        quant_noise += (e4 - e8).abs();
+        est_error += (e8 - exact).abs();
+    }
+    assert!(
+        quant_noise < est_error / 4.0,
+        "B_q-4 noise {quant_noise:.1} vs estimator error {est_error:.1}"
+    );
+}
