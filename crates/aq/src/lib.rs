@@ -109,12 +109,9 @@ impl AdditiveQuantizer {
     /// # Panics
     /// Panics on an empty dataset, `m == 0`, or `k_bits ∉ {4, 8}`.
     pub fn train(data: &[f32], dim: usize, config: &AqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         assert!(config.m > 0, "M must be positive");
-        assert!(
-            config.k_bits == 4 || config.k_bits == 8,
-            "k must be 4 or 8"
-        );
+        assert!(config.k_bits == 4 || config.k_bits == 8, "k must be 4 or 8");
         let n_all = data.len() / dim;
         assert!(n_all > 0, "cannot train on an empty dataset");
         let k = 1usize << config.k_bits;
@@ -228,7 +225,7 @@ impl AdditiveQuantizer {
         assert_eq!(code.len(), self.m, "code length");
         // Greedy init: choose each codeword against the running residual.
         let mut residual = v.to_vec();
-        for m in 0..self.m {
+        for (m, slot) in code.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for j in 0..self.k {
@@ -238,16 +235,16 @@ impl AdditiveQuantizer {
                     best = j;
                 }
             }
-            code[m] = best as u8;
+            *slot = best as u8;
             vecs::sub_assign(&mut residual, self.codeword(m, best));
         }
         // ICM sweeps: residual currently equals v − x̂.
         for _ in 0..self.icm_passes {
             let mut changed = false;
-            for m in 0..self.m {
+            for (m, slot) in code.iter_mut().enumerate() {
                 // Residual with codebook m's contribution added back.
-                vecs::add_assign(&mut residual, self.codeword(m, code[m] as usize));
-                let mut best = code[m] as usize;
+                vecs::add_assign(&mut residual, self.codeword(m, *slot as usize));
+                let mut best = *slot as usize;
                 let mut best_d = f32::INFINITY;
                 for j in 0..self.k {
                     let d = vecs::l2_sq(&residual, self.codeword(m, j));
@@ -256,9 +253,9 @@ impl AdditiveQuantizer {
                         best = j;
                     }
                 }
-                if best != code[m] as usize {
+                if best != *slot as usize {
                     changed = true;
-                    code[m] = best as u8;
+                    *slot = best as u8;
                 }
                 vecs::sub_assign(&mut residual, self.codeword(m, best));
             }
@@ -404,7 +401,11 @@ mod tests {
         let b = AdditiveQuantizer::train(&data, dim, &small_config(m));
         for seg in 0..m {
             for j in 0..4 {
-                assert_eq!(a.codeword(seg, j), b.codeword(seg, j), "segment {seg}, word {j}");
+                assert_eq!(
+                    a.codeword(seg, j),
+                    b.codeword(seg, j),
+                    "segment {seg}, word {j}"
+                );
             }
         }
         let ca = a.encode_set(data.chunks_exact(dim));
@@ -446,7 +447,10 @@ mod tests {
                 ..small_config(m)
             },
         );
-        let (mse_short, mse_long) = (short.reconstruction_mse(&data), long.reconstruction_mse(&data));
+        let (mse_short, mse_long) = (
+            short.reconstruction_mse(&data),
+            long.reconstruction_mse(&data),
+        );
         assert!(
             mse_long <= mse_short * 1.02,
             "alternating refinement regressed the objective: {mse_short} -> {mse_long}"

@@ -86,7 +86,10 @@ fn bench_mips_search(c: &mut Criterion) {
         let mut qi = 0usize;
         b.iter(|| {
             qi = (qi + 1) % ds.n_queries();
-            index.search_cosine(ds.query(qi), k, &mut rng).neighbors.len()
+            index
+                .search_cosine(ds.query(qi), k, &mut rng)
+                .neighbors
+                .len()
         })
     });
     group.finish();

@@ -26,7 +26,10 @@ fn bench_ivf_search(c: &mut Criterion) {
         let mut qi = 0usize;
         b.iter(|| {
             qi = (qi + 1) % ds.n_queries();
-            rabitq.search(ds.query(qi), k, nprobe, &mut rng).neighbors.len()
+            rabitq
+                .search(ds.query(qi), k, nprobe, &mut rng)
+                .neighbors
+                .len()
         })
     });
 

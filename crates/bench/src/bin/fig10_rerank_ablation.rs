@@ -124,7 +124,10 @@ fn main() {
 }
 
 fn largest_divisor_at_most(dim: usize, target: usize) -> usize {
-    (1..=target.max(1)).rev().find(|m| dim % m == 0).unwrap_or(1)
+    (1..=target.max(1))
+        .rev()
+        .find(|m| dim.is_multiple_of(*m))
+        .unwrap_or(1)
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -30,7 +30,9 @@ fn main() {
     let seed = args.u64("seed", 42);
 
     println!("# Figure 1 (right): concentration of (⟨ō,o⟩, ⟨ō,e1⟩), D = {dim}");
-    println!("# sphere sampler: {sphere_samples} samples; matrix sampler: {matrix_samples} samples\n");
+    println!(
+        "# sphere sampler: {sphere_samples} samples; matrix sampler: {matrix_samples} samples\n"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -94,14 +96,11 @@ fn main() {
     }
 
     let theory = expected_code_alignment(dim);
-    let mut table = Table::new(&[
-        "sampler",
-        "E[<o-bar,o>]",
-        "std",
-        "E[<o-bar,e1>]",
-        "std",
-    ]);
-    for (name, st) in [("sphere (fast)", &stats_fast), ("matrix (literal)", &stats_matrix)] {
+    let mut table = Table::new(&["sampler", "E[<o-bar,o>]", "std", "E[<o-bar,e1>]", "std"]);
+    for (name, st) in [
+        ("sphere (fast)", &stats_fast),
+        ("matrix (literal)", &stats_matrix),
+    ] {
         table.row(&[
             name.to_string(),
             format!("{:.4}", st.mean_x()),
@@ -153,10 +152,14 @@ impl Moments2 {
         self.sy / self.n as f64
     }
     fn std_x(&self) -> f64 {
-        (self.sxx / self.n as f64 - self.mean_x().powi(2)).max(0.0).sqrt()
+        (self.sxx / self.n as f64 - self.mean_x().powi(2))
+            .max(0.0)
+            .sqrt()
     }
     fn std_y(&self) -> f64 {
-        (self.syy / self.n as f64 - self.mean_y().powi(2)).max(0.0).sqrt()
+        (self.syy / self.n as f64 - self.mean_y().powi(2))
+            .max(0.0)
+            .sqrt()
     }
 }
 

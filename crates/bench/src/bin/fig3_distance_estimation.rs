@@ -49,13 +49,7 @@ fn main() {
             .map(|qi| tb.exact_distances(tb.ds.query(qi)))
             .collect();
 
-        let mut table = Table::new(&[
-            "method",
-            "bits/vec",
-            "ns/vec",
-            "avg-rel-err",
-            "max-rel-err",
-        ]);
+        let mut table = Table::new(&["method", "bits/vec", "ns/vec", "avg-rel-err", "max-rel-err"]);
 
         // --- RaBitQ at 1× and 2× code length, single and batch. ---
         for pad in [1usize, 2] {
@@ -116,7 +110,10 @@ fn main() {
 
 /// Largest divisor of `dim` that is ≤ `target` (PQ requires M | D).
 fn largest_divisor_at_most(dim: usize, target: usize) -> usize {
-    (1..=target.max(1)).rev().find(|m| dim % m == 0).unwrap_or(1)
+    (1..=target.max(1))
+        .rev()
+        .find(|m| dim.is_multiple_of(*m))
+        .unwrap_or(1)
 }
 
 struct RabitqIndex {

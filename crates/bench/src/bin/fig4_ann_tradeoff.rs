@@ -96,11 +96,16 @@ fn main() {
                 }
                 let mut sw = Stopwatch::new();
                 let mut results: Vec<Vec<u32>> = Vec::with_capacity(queries);
-                std::hint::black_box(opq.search(ds.query(0), k, nprobe, rerank, ScanMode::FastScanBatch));
+                std::hint::black_box(opq.search(
+                    ds.query(0),
+                    k,
+                    nprobe,
+                    rerank,
+                    ScanMode::FastScanBatch,
+                ));
                 for qi in 0..queries {
                     sw.start();
-                    let res =
-                        opq.search(ds.query(qi), k, nprobe, rerank, ScanMode::FastScanBatch);
+                    let res = opq.search(ds.query(qi), k, nprobe, rerank, ScanMode::FastScanBatch);
                     sw.stop();
                     results.push(res.neighbors.iter().map(|&(id, _)| id).collect());
                 }
@@ -148,7 +153,10 @@ fn main() {
 }
 
 fn largest_divisor_at_most(dim: usize, target: usize) -> usize {
-    (1..=target.max(1)).rev().find(|m| dim % m == 0).unwrap_or(1)
+    (1..=target.max(1))
+        .rev()
+        .find(|m| dim.is_multiple_of(*m))
+        .unwrap_or(1)
 }
 
 /// Recall@k and average distance ratio over all queries, with exact

@@ -69,11 +69,7 @@ fn main() {
             max_dev = max_dev.max((emp - th).abs() / th);
         }
         if b % 4 == 0 {
-            table.row(&[
-                format!("{x:+.4}"),
-                format!("{emp:.3}"),
-                format!("{th:.3}"),
-            ]);
+            table.row(&[format!("{x:+.4}"), format!("{emp:.3}"), format!("{th:.3}")]);
         }
     }
     table.print();
@@ -85,15 +81,13 @@ fn main() {
 
     // ---- Panel 2: ⟨ō,o⟩ concentration. ----
     let mean = alignment_sum / samples as f64;
-    let std = (alignment_sq / samples as f64 - mean * mean).max(0.0).sqrt();
+    let std = (alignment_sq / samples as f64 - mean * mean)
+        .max(0.0)
+        .sqrt();
     let theory = expected_code_alignment(dim);
     println!("## <o-bar,o> concentration");
     let mut t2 = Table::new(&["quantity", "empirical", "theory"]);
-    t2.row(&[
-        "mean".into(),
-        format!("{mean:.5}"),
-        format!("{theory:.5}"),
-    ]);
+    t2.row(&["mean".into(), format!("{mean:.5}"), format!("{theory:.5}")]);
     t2.row(&[
         "std".into(),
         format!("{std:.5}"),

@@ -32,7 +32,10 @@ fn main() {
     let clusters = args.usize("clusters", (n / 256).max(16));
     let tb = Testbed::paper(dataset, n, 1, clusters, seed);
     let dim = tb.ds.dim;
-    println!("# Table 4: indexing time, {} (D = {dim}, n = {n}, 1 thread)", tb.ds.name);
+    println!(
+        "# Table 4: indexing time, {} (D = {dim}, n = {n}, 1 thread)",
+        tb.ds.name
+    );
     println!("# (paper: RaBitQ 117s, PQ 105s, OPQ 291s, LSQ >24h — on 1M vectors, 32 threads)\n");
 
     let mut table = Table::new(&["method", "train+encode", "notes"]);
@@ -106,8 +109,9 @@ fn main() {
     let (aq, aq_train_time) =
         time_once(|| AdditiveQuantizer::train(&tb.ds.data[..2_000.min(n) * dim], dim, &aq_cfg));
     let sample = aq_encode_sample.min(n);
-    let (_, aq_encode_time) =
-        time_once(|| std::hint::black_box(aq.encode_set(tb.ds.data[..sample * dim].chunks_exact(dim))));
+    let (_, aq_encode_time) = time_once(|| {
+        std::hint::black_box(aq.encode_set(tb.ds.data[..sample * dim].chunks_exact(dim)))
+    });
     let per_vec = aq_encode_time.as_secs_f64() / sample as f64;
     let extrapolated = aq_train_time.as_secs_f64() + per_vec * n as f64;
     table.row(&[

@@ -62,12 +62,8 @@ fn main() {
                 // Quantized ⟨x̄, q̄⟩ via the integer identity (Eq. 20).
                 let ip_bin = ip_code_query(&code, &query);
                 let popcount: u32 = code.iter().map(|w| w.count_ones()).sum();
-                let approx = rabitq_core::estimator::ip_quantized(
-                    ip_bin,
-                    popcount,
-                    &query,
-                    dim,
-                ) as f64;
+                let approx =
+                    rabitq_core::estimator::ip_quantized(ip_bin, popcount, &query, dim) as f64;
                 let err = (exact - approx).abs();
                 let delta = query.delta as f64;
                 err_sum += err;

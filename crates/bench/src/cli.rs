@@ -42,7 +42,10 @@ impl Args {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -50,7 +53,10 @@ impl Args {
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -58,7 +64,10 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -71,8 +80,7 @@ impl Args {
             Some(spec) => spec
                 .split(',')
                 .map(|name| {
-                    PaperDataset::parse(name)
-                        .unwrap_or_else(|| panic!("unknown dataset {name:?}"))
+                    PaperDataset::parse(name).unwrap_or_else(|| panic!("unknown dataset {name:?}"))
                 })
                 .collect(),
         }

@@ -23,7 +23,13 @@ pub struct Testbed {
 
 impl Testbed {
     /// Generates a paper-analogue dataset and clusters it.
-    pub fn paper(dataset: PaperDataset, n: usize, n_queries: usize, clusters: usize, seed: u64) -> Self {
+    pub fn paper(
+        dataset: PaperDataset,
+        n: usize,
+        n_queries: usize,
+        clusters: usize,
+        seed: u64,
+    ) -> Self {
         let ds = dataset.generate(n, n_queries, seed);
         Self::from_dataset(ds, clusters, seed)
     }

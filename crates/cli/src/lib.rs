@@ -16,6 +16,17 @@
 //!                      --ef-search 400 --gt gt.ivecs --out results.ivecs
 //! ```
 //!
+//! And the live-collection workflows backed by `rabitq-store` (WAL +
+//! sealed segments + compaction):
+//!
+//! ```text
+//! rabitq ingest             --dir ./coll --data base.fvecs --memtable 4096
+//! rabitq delete             --dir ./coll --ids 17,42,99
+//! rabitq compact            --dir ./coll
+//! rabitq collection-search  --dir ./coll --queries q.fvecs --k 100 \
+//!                           --nprobe 64 --gt gt.ivecs --out results.ivecs
+//! ```
+//!
 //! The library surface (`run`) is process-free so the whole pipeline is
 //! exercised by integration tests.
 
@@ -26,6 +37,7 @@ use rabitq_graph::{GraphRabitq, GraphRabitqConfig, GraphRerank};
 use rabitq_hnsw::HnswConfig;
 use rabitq_ivf::{IvfConfig, IvfRabitq};
 use rabitq_metrics::{recall_at_k, Stopwatch};
+use rabitq_store::{Collection, CollectionConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -43,6 +55,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "info" => cmd_info(&flags),
         "graph-build" => cmd_graph_build(&flags),
         "graph-search" => cmd_graph_search(&flags),
+        "ingest" => cmd_ingest(&flags),
+        "delete" => cmd_delete(&flags),
+        "compact" => cmd_compact(&flags),
+        "collection-search" => cmd_collection_search(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -51,12 +67,49 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn usage() -> String {
-    "usage: rabitq <generate|ground-truth|build|search|info|graph-build|graph-search> \
-     [--flag value]...\n\
-     see crate docs for per-command flags"
-        .to_string()
+/// Every subcommand `run` accepts, in usage order.
+pub const COMMANDS: &[&str] = &[
+    "generate",
+    "ground-truth",
+    "build",
+    "search",
+    "info",
+    "graph-build",
+    "graph-search",
+    "ingest",
+    "delete",
+    "compact",
+    "collection-search",
+    "help",
+];
+
+/// The usage banner (public so tooling and tests can assert on it).
+pub fn usage() -> String {
+    String::from(
+        "usage: rabitq <command> [--flag value]...\n\
+         \n\
+         one-shot index workflows:\n\
+         \x20 generate           synthesize an .fvecs dataset + queries\n\
+         \x20 ground-truth       exact top-k for a query file\n\
+         \x20 build              build an IVF-RaBitQ index from .fvecs\n\
+         \x20 search             query an IVF-RaBitQ index file\n\
+         \x20 info               print an index file's parameters\n\
+         \x20 graph-build        build a Graph-RaBitQ (HNSW) index\n\
+         \x20 graph-search       query a Graph-RaBitQ index file\n\
+         \n\
+         live collection workflows (rabitq-store):\n\
+         \x20 ingest             append .fvecs vectors to a collection dir\n\
+         \x20 delete             tombstone ids in a collection\n\
+         \x20 compact            force-merge all segments, reclaim tombstones\n\
+         \x20 collection-search  query a collection (memtable + segments)\n\
+         \n\
+         \x20 help               this text\n\
+         see crate docs for per-command flags",
+    )
 }
+
+/// Flags that are switches: present or absent, no value token.
+const BOOLEAN_FLAGS: &[&str] = &["hadamard", "seal"];
 
 /// Parsed `--key value` flags.
 struct Flags {
@@ -71,6 +124,10 @@ impl Flags {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            if BOOLEAN_FLAGS.contains(&key) {
+                values.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let val = iter
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -128,8 +185,7 @@ fn io_err(context: &str, e: std::io::Error) -> String {
 
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let name = flags.str_or("dataset", "sift");
-    let dataset =
-        PaperDataset::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let dataset = PaperDataset::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let n = flags.usize_or("n", 10_000)?;
     let queries = flags.usize_or("queries", 100)?;
     let seed = flags.u64_or("seed", 42)?;
@@ -137,8 +193,7 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let out_queries = flags.path("out-queries")?;
     let ds = dataset.generate(n, queries, seed);
     io::write_fvecs(&out_data, &ds.data, ds.dim).map_err(|e| io_err("writing data", e))?;
-    io::write_fvecs(&out_queries, &ds.queries, ds.dim)
-        .map_err(|e| io_err("writing queries", e))?;
+    io::write_fvecs(&out_queries, &ds.queries, ds.dim).map_err(|e| io_err("writing queries", e))?;
     println!(
         "wrote {} base vectors -> {} and {} queries -> {} (D = {})",
         n,
@@ -164,7 +219,11 @@ fn cmd_ground_truth(flags: &Flags) -> Result<(), String> {
         .flat_map(|nbrs| nbrs.iter().map(|&(id, _)| id as i32))
         .collect();
     io::write_ivecs(&out, &flat, k).map_err(|e| io_err("writing ground truth", e))?;
-    println!("wrote exact top-{k} for {} queries -> {}", gt.len(), out.display());
+    println!(
+        "wrote exact top-{k} for {} queries -> {}",
+        gt.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -188,9 +247,7 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
     sw.start();
     let index = IvfRabitq::build(&data, dim, &IvfConfig::new(clusters), config);
     sw.stop();
-    index
-        .save(&out)
-        .map_err(|e| io_err("saving index", e))?;
+    index.save(&out).map_err(|e| io_err("saving index", e))?;
     println!(
         "built IVF-RaBitQ over {n} x {dim}D in {:.1}s ({} buckets, {}-bit codes) -> {}",
         sw.elapsed().as_secs_f64(),
@@ -202,14 +259,10 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_search(flags: &Flags) -> Result<(), String> {
-    let index =
-        IvfRabitq::load(&flags.path("index")?).map_err(|e| io_err("loading index", e))?;
+    let index = IvfRabitq::load(&flags.path("index")?).map_err(|e| io_err("loading index", e))?;
     let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
     if qdim != index.dim() {
-        return Err(format!(
-            "index D = {} but queries D = {qdim}",
-            index.dim()
-        ));
+        return Err(format!("index D = {} but queries D = {qdim}", index.dim()));
     }
     let k = flags.usize_or("k", 100)?;
     let nprobe = flags.usize_or("nprobe", 64)?;
@@ -266,7 +319,10 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
     println!("B_q        : {}", cfg.bq);
     println!("epsilon0   : {}", cfg.epsilon0);
     println!("rotator    : {:?}", cfg.rotator);
-    println!("bit entropy: {:.2}%", index.normalized_code_entropy() * 100.0);
+    println!(
+        "bit entropy: {:.2}%",
+        index.normalized_code_entropy() * 100.0
+    );
     Ok(())
 }
 
@@ -314,8 +370,7 @@ fn cmd_graph_build(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_graph_search(flags: &Flags) -> Result<(), String> {
-    let file =
-        std::fs::File::open(flags.path("index")?).map_err(|e| io_err("opening index", e))?;
+    let file = std::fs::File::open(flags.path("index")?).map_err(|e| io_err("opening index", e))?;
     let mut r = std::io::BufReader::new(file);
     let index = GraphRabitq::read(&mut r).map_err(|e| io_err("loading index", e))?;
     let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
@@ -371,6 +426,174 @@ fn cmd_graph_search(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_ingest(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let (data, dim) = read_fvecs_checked(&flags.path("data")?)?;
+    let mut config = CollectionConfig::new(dim);
+    config.memtable_capacity = flags.usize_or("memtable", 4096)?;
+    config.rabitq.bq = flags.usize_or("bq", 4)? as u8;
+    config.rabitq.epsilon0 = flags.f32_or("epsilon0", 1.9)?;
+    config.rabitq.seed = flags.u64_or("seed", 0x5EED_AB17)?;
+    let mut collection =
+        Collection::open(&dir, config).map_err(|e| io_err("opening collection", e))?;
+    let n = data.len() / dim;
+    let mut sw = Stopwatch::new();
+    sw.start();
+    let mut first = u32::MAX;
+    let mut last = 0u32;
+    for row in data.chunks_exact(dim) {
+        let id = collection
+            .insert(row)
+            .map_err(|e| io_err("inserting vector", e))?;
+        first = first.min(id);
+        last = last.max(id);
+    }
+    if flags.flag_present("seal") {
+        collection
+            .seal()
+            .map_err(|e| io_err("sealing memtable", e))?;
+    }
+    sw.stop();
+    println!(
+        "ingested {n} x {dim}D vectors (ids {first}..={last}) in {:.1}s -> {} \
+         ({} live, {} segments, {} in memtable)",
+        sw.elapsed().as_secs_f64(),
+        dir.display(),
+        collection.len(),
+        collection.n_segments(),
+        collection.memtable_len()
+    );
+    Ok(())
+}
+
+fn cmd_delete(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let spec = flags
+        .values
+        .get("ids")
+        .ok_or("missing required flag --ids (comma-separated)")?;
+    let ids = parse_id_list(spec)?;
+    let mut collection =
+        Collection::open_existing(&dir).map_err(|e| io_err("opening collection", e))?;
+    let mut removed = 0usize;
+    for id in &ids {
+        if collection
+            .delete(*id)
+            .map_err(|e| io_err("deleting vector", e))?
+        {
+            removed += 1;
+        }
+    }
+    println!(
+        "tombstoned {removed} of {} ids ({} live remain)",
+        ids.len(),
+        collection.len()
+    );
+    Ok(())
+}
+
+fn cmd_compact(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let mut collection =
+        Collection::open_existing(&dir).map_err(|e| io_err("opening collection", e))?;
+    let before = collection.n_segments();
+    let mut sw = Stopwatch::new();
+    sw.start();
+    collection
+        .seal()
+        .map_err(|e| io_err("sealing memtable", e))?;
+    let merged = collection.compact().map_err(|e| io_err("compacting", e))?;
+    sw.stop();
+    if merged || collection.n_segments() != before {
+        println!(
+            "compacted {before} segments -> {} in {:.1}s ({} live vectors)",
+            collection.n_segments(),
+            sw.elapsed().as_secs_f64(),
+            collection.len()
+        );
+    } else {
+        println!("nothing to compact ({before} segments, no tombstones)");
+    }
+    Ok(())
+}
+
+fn cmd_collection_search(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let collection =
+        Collection::open_existing(&dir).map_err(|e| io_err("opening collection", e))?;
+    let (queries, qdim) = read_fvecs_checked(&flags.path("queries")?)?;
+    if qdim != collection.dim() {
+        return Err(format!(
+            "collection D = {} but queries D = {qdim}",
+            collection.dim()
+        ));
+    }
+    let k = flags.usize_or("k", 100)?;
+    let nprobe = flags.usize_or("nprobe", 64)?;
+    let seed = flags.u64_or("seed", 1)?;
+    let nq = queries.len() / qdim;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = Stopwatch::new();
+    let mut all_ids: Vec<i32> = Vec::with_capacity(nq * k);
+    let mut per_query_ids: Vec<Vec<u32>> = Vec::with_capacity(nq);
+    for q in queries.chunks_exact(qdim) {
+        sw.start();
+        let res = collection.search(q, k, nprobe, &mut rng);
+        sw.stop();
+        let mut ids: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+        ids.resize(k, u32::MAX);
+        all_ids.extend(ids.iter().map(|&id| id as i32));
+        per_query_ids.push(ids);
+    }
+    println!(
+        "searched {nq} queries over {} segments + memtable ({} live): \
+         k = {k}, nprobe = {nprobe}, {:.0} QPS",
+        collection.n_segments(),
+        collection.len(),
+        sw.per_second(nq as u64)
+    );
+
+    if let Ok(gt_path) = flags.path("gt") {
+        let (gt_flat, gt_k) = io::read_ivecs(&gt_path).map_err(|e| io_err("reading gt", e))?;
+        let mut recall = 0.0;
+        for (qi, ids) in per_query_ids.iter().enumerate() {
+            let want: Vec<u32> = gt_flat[qi * gt_k..qi * gt_k + gt_k.min(k)]
+                .iter()
+                .map(|&v| v as u32)
+                .collect();
+            recall += recall_at_k(&want, ids);
+        }
+        println!("recall@{k}: {:.4}", recall / nq as f64);
+    }
+
+    if let Ok(out) = flags.path("out") {
+        io::write_ivecs(&out, &all_ids, k).map_err(|e| io_err("writing results", e))?;
+        println!("wrote neighbor ids -> {}", out.display());
+    }
+    Ok(())
+}
+
+/// Parses a comma-separated id list, with `a..b` ranges (`b` exclusive).
+fn parse_id_list(spec: &str) -> Result<Vec<u32>, String> {
+    let mut ids = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        match part.split_once("..") {
+            Some((a, b)) => {
+                let a: u32 = a.trim().parse().map_err(|_| format!("bad id {part:?}"))?;
+                let b: u32 = b.trim().parse().map_err(|_| format!("bad id {part:?}"))?;
+                ids.extend(a..b);
+            }
+            None => ids.push(
+                part.trim()
+                    .parse()
+                    .map_err(|_| format!("bad id {part:?}"))?,
+            ),
+        }
+    }
+    Ok(ids)
+}
+
 fn read_fvecs_checked(path: &Path) -> Result<(Vec<f32>, usize), String> {
     let (data, dim) = io::read_fvecs(path).map_err(|e| io_err("reading fvecs", e))?;
     if dim == 0 || data.is_empty() {
@@ -403,24 +626,55 @@ mod tests {
         let results = dir.join("res.ivecs");
 
         run(&args(&[
-            "generate", "--dataset", "sift", "--n", "800", "--queries", "5",
-            "--out-data", data.to_str().unwrap(), "--out-queries", queries.to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "800",
+            "--queries",
+            "5",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            queries.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "ground-truth", "--data", data.to_str().unwrap(), "--queries",
-            queries.to_str().unwrap(), "--k", "10", "--out", gt.to_str().unwrap(),
+            "ground-truth",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "10",
+            "--out",
+            gt.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "build", "--data", data.to_str().unwrap(), "--clusters", "8",
-            "--out", index.to_str().unwrap(),
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--clusters",
+            "8",
+            "--out",
+            index.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "search", "--index", index.to_str().unwrap(), "--queries",
-            queries.to_str().unwrap(), "--k", "10", "--nprobe", "8",
-            "--gt", gt.to_str().unwrap(), "--out", results.to_str().unwrap(),
+            "search",
+            "--index",
+            index.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "10",
+            "--nprobe",
+            "8",
+            "--gt",
+            gt.to_str().unwrap(),
+            "--out",
+            results.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&["info", "--index", index.to_str().unwrap()])).unwrap();
@@ -453,24 +707,57 @@ mod tests {
         let results = dir.join("res.ivecs");
 
         run(&args(&[
-            "generate", "--dataset", "sift", "--n", "600", "--queries", "5",
-            "--out-data", data.to_str().unwrap(), "--out-queries", queries.to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "600",
+            "--queries",
+            "5",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            queries.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "ground-truth", "--data", data.to_str().unwrap(), "--queries",
-            queries.to_str().unwrap(), "--k", "5", "--out", gt.to_str().unwrap(),
+            "ground-truth",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--out",
+            gt.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "graph-build", "--data", data.to_str().unwrap(), "--centroids", "4",
-            "--ef-construction", "100", "--out", index.to_str().unwrap(),
+            "graph-build",
+            "--data",
+            data.to_str().unwrap(),
+            "--centroids",
+            "4",
+            "--ef-construction",
+            "100",
+            "--out",
+            index.to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "graph-search", "--index", index.to_str().unwrap(), "--queries",
-            queries.to_str().unwrap(), "--k", "5", "--ef-search", "100",
-            "--gt", gt.to_str().unwrap(), "--out", results.to_str().unwrap(),
+            "graph-search",
+            "--index",
+            index.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "5",
+            "--ef-search",
+            "100",
+            "--gt",
+            gt.to_str().unwrap(),
+            "--out",
+            results.to_str().unwrap(),
         ]))
         .unwrap();
 
@@ -494,21 +781,39 @@ mod tests {
         let data = dir.join("base.fvecs");
         let ivf_index = dir.join("index.rbq");
         run(&args(&[
-            "generate", "--dataset", "sift", "--n", "300", "--queries", "2",
-            "--out-data", data.to_str().unwrap(),
-            "--out-queries", dir.join("q.fvecs").to_str().unwrap(),
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "300",
+            "--queries",
+            "2",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            dir.join("q.fvecs").to_str().unwrap(),
         ]))
         .unwrap();
         run(&args(&[
-            "build", "--data", data.to_str().unwrap(), "--clusters", "4",
-            "--out", ivf_index.to_str().unwrap(),
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--clusters",
+            "4",
+            "--out",
+            ivf_index.to_str().unwrap(),
         ]))
         .unwrap();
         // Loading an IVF index as a graph index must fail with a clear
         // error, not a panic or garbage results.
         let err = run(&args(&[
-            "graph-search", "--index", ivf_index.to_str().unwrap(), "--queries",
-            dir.join("q.fvecs").to_str().unwrap(), "--k", "3",
+            "graph-search",
+            "--index",
+            ivf_index.to_str().unwrap(),
+            "--queries",
+            dir.join("q.fvecs").to_str().unwrap(),
+            "--k",
+            "3",
         ]))
         .unwrap_err();
         assert!(err.contains("loading index"), "{err}");
@@ -516,11 +821,136 @@ mod tests {
     }
 
     #[test]
+    fn collection_pipeline_ingest_delete_compact_search() {
+        let dir = tmp_dir("collection-pipeline");
+        let data = dir.join("base.fvecs");
+        let queries = dir.join("q.fvecs");
+        let gt = dir.join("gt.ivecs");
+        let coll = dir.join("coll");
+        let results = dir.join("res.ivecs");
+
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "600",
+            "--queries",
+            "5",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ground-truth",
+            "--data",
+            data.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "10",
+            "--out",
+            gt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Tiny memtable so several segments seal during ingest; bare
+        // `--seal` (a boolean switch, no value token) flushes the rest.
+        run(&args(&[
+            "ingest",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--memtable",
+            "150",
+            "--seal",
+        ]))
+        .unwrap();
+        run(&args(&[
+            "delete",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--ids",
+            "990..1000,5",
+        ]))
+        .unwrap();
+        run(&args(&["compact", "--dir", coll.to_str().unwrap()])).unwrap();
+        run(&args(&[
+            "collection-search",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+            "--k",
+            "10",
+            "--nprobe",
+            "64",
+            "--gt",
+            gt.to_str().unwrap(),
+            "--out",
+            results.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let (ids, k) = io::read_ivecs(&results).unwrap();
+        assert_eq!(k, 10);
+        assert_eq!(ids.len(), 50);
+        // id 5 was tombstoned; it must never appear in any answer.
+        assert!(ids.iter().all(|&id| id != 5));
+        // High-recall regime: answers should mostly match ground truth
+        // (modulo the one deleted id, which gt may still contain).
+        let (gt_ids, _) = io::read_ivecs(&gt).unwrap();
+        let matches = ids
+            .chunks_exact(10)
+            .zip(gt_ids.chunks_exact(10))
+            .map(|(a, b)| a.iter().filter(|x| b.contains(x)).count())
+            .sum::<usize>();
+        assert!(matches >= 44, "only {matches}/50 ids matched ground truth");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        // `run(&["help"])` prints the same banner `usage()` returns; the
+        // unknown-command error embeds it too, so a stale listing fails
+        // loudly here.
+        run(&args(&["help"])).unwrap();
+        let banner = usage();
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        for command in COMMANDS {
+            assert!(banner.contains(command), "usage() omits {command:?}");
+            assert!(err.contains(command), "error text omits {command:?}");
+        }
+    }
+
+    #[test]
+    fn id_list_parsing() {
+        assert_eq!(parse_id_list("1,2,3").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_id_list("5..8,1").unwrap(), vec![5, 6, 7, 1]);
+        assert!(parse_id_list("x").is_err());
+        assert!(parse_id_list("3..x").is_err());
+        assert!(parse_id_list("").unwrap().is_empty());
+    }
+
+    #[test]
     fn missing_flags_and_unknown_commands_error_cleanly() {
         assert!(run(&args(&["build"])).is_err());
-        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
-        assert!(run(&args(&["generate", "--dataset", "nope", "--out-data", "x",
-            "--out-queries", "y"])).is_err());
+        assert!(run(&args(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(run(&args(&[
+            "generate",
+            "--dataset",
+            "nope",
+            "--out-data",
+            "x",
+            "--out-queries",
+            "y"
+        ]))
+        .is_err());
         assert!(run(&[]).is_err());
     }
 
@@ -532,8 +962,14 @@ mod tests {
         io::write_fvecs(&a, &[0.0f32; 40], 8).unwrap();
         io::write_fvecs(&b, &[0.0f32; 40], 10).unwrap();
         let err = run(&args(&[
-            "ground-truth", "--data", a.to_str().unwrap(), "--queries",
-            b.to_str().unwrap(), "--k", "3", "--out",
+            "ground-truth",
+            "--data",
+            a.to_str().unwrap(),
+            "--queries",
+            b.to_str().unwrap(),
+            "--k",
+            "3",
+            "--out",
             dir.join("gt.ivecs").to_str().unwrap(),
         ]))
         .unwrap_err();

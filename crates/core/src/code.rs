@@ -43,7 +43,7 @@ impl CodeSet {
     /// Panics unless `padded_dim` is a positive multiple of 64.
     pub fn new(padded_dim: usize) -> Self {
         assert!(
-            padded_dim > 0 && padded_dim % 64 == 0,
+            padded_dim > 0 && padded_dim.is_multiple_of(64),
             "code length must be a positive multiple of 64"
         );
         Self {
@@ -222,10 +222,7 @@ mod tests {
         let f = set.factors(0);
         assert_eq!(f.norm, 2.5);
         assert_eq!(f.ip_oo, 0.8);
-        assert_eq!(
-            f.popcount,
-            code.iter().map(|w| w.count_ones()).sum::<u32>()
-        );
+        assert_eq!(f.popcount, code.iter().map(|w| w.count_ones()).sum::<u32>());
     }
 
     #[test]

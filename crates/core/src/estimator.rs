@@ -62,8 +62,7 @@ pub fn ip_confidence_halfwidth(ip_oo: f32, padded_dim: usize, epsilon0: f32) -> 
 pub fn ip_quantized(ip_bin: u32, popcount: u32, query: &QuantizedQuery, padded_dim: usize) -> f32 {
     let sqrt_b = (padded_dim as f32).sqrt();
     let inv_sqrt_b = 1.0 / sqrt_b;
-    2.0 * query.delta * inv_sqrt_b * ip_bin as f32
-        + 2.0 * query.v_l * inv_sqrt_b * popcount as f32
+    2.0 * query.delta * inv_sqrt_b * ip_bin as f32 + 2.0 * query.v_l * inv_sqrt_b * popcount as f32
         - query.delta * inv_sqrt_b * query.sum_qu as f32
         - sqrt_b * query.v_l
 }

@@ -43,7 +43,10 @@ impl PackedCodes {
     /// block is padded with all-zero codes (whose inner product is 0).
     pub fn pack(set: &CodeSet) -> Self {
         let padded_dim = set.padded_dim();
-        assert!(padded_dim % 4 == 0, "code length must be a multiple of 4");
+        assert!(
+            padded_dim.is_multiple_of(4),
+            "code length must be a multiple of 4"
+        );
         let segments = padded_dim / 4;
         let n = set.len();
         // A nibble never straddles a u64 boundary because 4 | 64.
@@ -115,7 +118,6 @@ impl PackedCodes {
             out[start..start + take].copy_from_slice(&buf[..take]);
         }
     }
-
 }
 
 /// Per-segment 16-entry look-up tables for one quantized query.
@@ -333,7 +335,13 @@ mod tests {
 
     #[test]
     fn packed_scan_matches_bitwise_kernel_exactly() {
-        for &(n, dim) in &[(1usize, 64usize), (31, 128), (32, 128), (33, 192), (100, 448)] {
+        for &(n, dim) in &[
+            (1usize, 64usize),
+            (31, 128),
+            (32, 128),
+            (33, 192),
+            (100, 448),
+        ] {
             let set = random_set(n, dim, n as u64);
             let query = random_query(dim, 4, dim as u64);
             let packed = PackedCodes::pack(&set);

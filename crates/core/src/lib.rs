@@ -30,15 +30,15 @@ pub mod estimator;
 pub mod fastscan;
 pub mod kernels;
 pub mod persist;
-pub mod query;
 pub mod quantizer;
+pub mod query;
 pub mod rotation;
 pub mod similarity;
 
 pub use code::{CodeFactors, CodeSet};
 pub use estimator::DistanceEstimate;
 pub use fastscan::{Lut, PackedCodes};
-pub use query::QuantizedQuery;
 pub use quantizer::{Rabitq, RabitqConfig};
+pub use query::QuantizedQuery;
 pub use rotation::{default_padded_dim, Rotator, RotatorKind};
 pub use similarity::{CosineEstimate, IpEstimate, IpQueryTerms};

@@ -37,7 +37,7 @@ use rand::Rng;
 /// Configuration of a [`Rabitq`] quantizer. The defaults are the paper's:
 /// `B_q = 4`, `ε₀ = 1.9`, dense Haar-orthogonal rotation, code length equal
 /// to the smallest multiple of 64 ≥ `dim`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RabitqConfig {
     /// Query quantization bits `B_q` (Theorem 3.3; 4 in practice).
     pub bq: u8,
@@ -335,9 +335,7 @@ mod tests {
 
     fn make_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| standard_normal_vec(&mut rng, dim))
-            .collect()
+        (0..n).map(|_| standard_normal_vec(&mut rng, dim)).collect()
     }
 
     #[test]
@@ -446,8 +444,7 @@ mod tests {
         let data = make_data(100, dim, 9);
         let centroid = vec![0.0f32; dim];
         let codes = q.encode_set(data.iter().map(|v| v.as_slice()), &centroid);
-        let mean: f64 =
-            (0..100).map(|i| codes.factors(i).ip_oo as f64).sum::<f64>() / 100.0;
+        let mean: f64 = (0..100).map(|i| codes.factors(i).ip_oo as f64).sum::<f64>() / 100.0;
         assert!((mean - 0.8).abs() < 0.02, "mean alignment {mean}");
     }
 

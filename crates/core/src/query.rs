@@ -45,14 +45,10 @@ impl QuantizedQuery {
     /// # Panics
     /// Panics unless `rotated.len()` is a positive multiple of 64 and
     /// `1 ≤ bq ≤ 8`.
-    pub fn from_rotated_residual<R: Rng + ?Sized>(
-        rotated: &[f32],
-        bq: u8,
-        rng: &mut R,
-    ) -> Self {
+    pub fn from_rotated_residual<R: Rng + ?Sized>(rotated: &[f32], bq: u8, rng: &mut R) -> Self {
         let padded_dim = rotated.len();
         assert!(
-            padded_dim > 0 && padded_dim % 64 == 0,
+            padded_dim > 0 && padded_dim.is_multiple_of(64),
             "rotated residual length must be a positive multiple of 64"
         );
         assert!((1..=8).contains(&bq), "B_q must be in 1..=8");

@@ -75,7 +75,10 @@ impl Rotator {
         assert!(dim > 0, "dimension must be positive");
         let mut padded = padded_dim.unwrap_or_else(|| default_padded_dim(dim));
         assert!(padded >= dim, "padded_dim {padded} < dim {dim}");
-        assert!(padded % 64 == 0, "padded_dim must be a multiple of 64");
+        assert!(
+            padded.is_multiple_of(64),
+            "padded_dim must be a multiple of 64"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let imp = match kind {
             RotatorKind::DenseOrthogonal => RotatorImpl::Dense(random_orthogonal(&mut rng, padded)),

@@ -179,8 +179,10 @@ mod tests {
             mean_signed.abs() < mean_abs / 2.0,
             "signed error {mean_signed} should be far smaller than {mean_abs} (unbiasedness)"
         );
-        // ε₀ = 1.9 targets near-perfect coverage (Section 5.2.4).
-        assert!(covered as f64 / n as f64 > 0.95, "coverage {covered}/{n}");
+        // Two-sided coverage at ε₀ = 1.9 is ≈ P(|N(0,1)| < 1.9) ≈ 94.3%
+        // (Lemma B.1 with √(D−1)·X₁ ≈ N(0,1), same model as the distance
+        // bound's miss-rate test); over 300 pairs the 3σ floor is ~90%.
+        assert!(covered as f64 / n as f64 > 0.90, "coverage {covered}/{n}");
     }
 
     /// Cosine of a vector with itself estimates ≈ 1 and the interval

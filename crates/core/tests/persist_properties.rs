@@ -1,0 +1,104 @@
+//! Property tests for the persistence layer: every `write_*`/`read_*`
+//! pair must round-trip arbitrary values bit-for-bit, and malformed input
+//! (truncation, corrupt magic, lying prefixes) must error rather than
+//! misread.
+
+use proptest::prelude::*;
+use rabitq_core::persist as p;
+
+/// Builds a UTF-8 string from arbitrary bytes (lossy, so any byte vector
+/// maps to a valid test case).
+fn ascii_string(bytes: &[u8]) -> String {
+    bytes.iter().map(|&b| (b % 94 + 33) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scalars_round_trip(byte in 0u8..=255, word in proptest::any::<u64>(), x in -1e30f32..1e30) {
+        let mut buf = Vec::new();
+        p::write_u8(&mut buf, byte).unwrap();
+        p::write_u64(&mut buf, word).unwrap();
+        p::write_f32(&mut buf, x).unwrap();
+        let mut r = buf.as_slice();
+        prop_assert_eq!(p::read_u8(&mut r).unwrap(), byte);
+        prop_assert_eq!(p::read_u64(&mut r).unwrap(), word);
+        prop_assert_eq!(p::read_f32(&mut r).unwrap(), x);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn strings_round_trip(raw in proptest::collection::vec(proptest::any::<u8>(), 0..200)) {
+        let s = ascii_string(&raw);
+        let mut buf = Vec::new();
+        p::write_str(&mut buf, &s).unwrap();
+        let mut r = buf.as_slice();
+        prop_assert_eq!(p::read_str(&mut r).unwrap(), s);
+    }
+
+    #[test]
+    fn slices_round_trip(
+        floats in proptest::collection::vec(-1e20f32..1e20, 0..300),
+        words in proptest::collection::vec(proptest::any::<u64>(), 0..300),
+        ints in proptest::collection::vec(proptest::any::<u32>(), 0..300),
+    ) {
+        let mut buf = Vec::new();
+        p::write_f32_slice(&mut buf, &floats).unwrap();
+        p::write_u64_slice(&mut buf, &words).unwrap();
+        p::write_u32_slice(&mut buf, &ints).unwrap();
+        let mut r = buf.as_slice();
+        prop_assert_eq!(p::read_f32_vec(&mut r).unwrap(), floats);
+        prop_assert_eq!(p::read_u64_vec(&mut r).unwrap(), words);
+        prop_assert_eq!(p::read_u32_vec(&mut r).unwrap(), ints);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn headers_round_trip(raw in proptest::collection::vec(proptest::any::<u8>(), 1..40)) {
+        let section = ascii_string(&raw);
+        let mut buf = Vec::new();
+        p::write_header(&mut buf, &section).unwrap();
+        prop_assert_eq!(p::read_header(&mut buf.as_slice()).unwrap(), section);
+    }
+
+    #[test]
+    fn any_truncation_of_a_slice_errors(
+        floats in proptest::collection::vec(-1e6f32..1e6, 1..50),
+        cut_fraction in 0.0f32..1.0,
+    ) {
+        let mut buf = Vec::new();
+        p::write_f32_slice(&mut buf, &floats).unwrap();
+        // Cut strictly inside the buffer: every proper prefix must fail.
+        let cut = ((buf.len() - 1) as f32 * cut_fraction) as usize;
+        prop_assert!(p::read_f32_vec(&mut &buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_strings_error(raw in proptest::collection::vec(proptest::any::<u8>(), 1..60)) {
+        let s = ascii_string(&raw);
+        let mut buf = Vec::new();
+        p::write_str(&mut buf, &s).unwrap();
+        buf.pop();
+        prop_assert!(p::read_str(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected(flip in 0usize..4, xor in 1u8..=255) {
+        let mut buf = Vec::new();
+        p::write_header(&mut buf, "some-section").unwrap();
+        buf[flip] ^= xor;
+        prop_assert!(p::read_header(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn lying_length_prefixes_fail_cleanly(claimed in (1u64 << 32)..(1u64 << 60)) {
+        // A prefix claiming up to 2⁶⁰ elements over an 8-byte body must
+        // error (EOF), not abort on a giant allocation.
+        let mut buf = Vec::new();
+        p::write_u64(&mut buf, claimed).unwrap();
+        buf.extend_from_slice(&[0u8; 8]);
+        prop_assert!(p::read_f32_vec(&mut buf.as_slice()).is_err());
+        prop_assert!(p::read_u64_vec(&mut buf.as_slice()).is_err());
+    }
+}

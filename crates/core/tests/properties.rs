@@ -14,7 +14,11 @@ fn random_codes(n: usize, padded_dim: usize, seed: u64) -> CodeSet {
     let words = padded_dim / 64;
     for _ in 0..n {
         let code: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
-        set.push(&code, rng.gen_range(0.1f32..5.0), rng.gen_range(0.5f32..0.95));
+        set.push(
+            &code,
+            rng.gen_range(0.1f32..5.0),
+            rng.gen_range(0.5f32..0.95),
+        );
     }
     set
 }

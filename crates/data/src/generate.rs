@@ -145,7 +145,10 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             let draw = |rng: &mut StdRng, gauss: &mut GaussianSource, out: &mut [f32]| {
                 let c = rng.gen_range(0..centers.len() / spec.dim);
                 gauss.fill(rng, out);
-                for (x, &cv) in out.iter_mut().zip(&centers[c * spec.dim..(c + 1) * spec.dim]) {
+                for (x, &cv) in out
+                    .iter_mut()
+                    .zip(&centers[c * spec.dim..(c + 1) * spec.dim])
+                {
                     *x = cv + *x * cluster_std;
                 }
             };
@@ -159,7 +162,10 @@ pub fn generate(spec: &DatasetSpec) -> Dataset {
             let draw = |rng: &mut StdRng, gauss: &mut GaussianSource, out: &mut [f32]| {
                 let c = rng.gen_range(0..centers.len() / spec.dim);
                 gauss.fill(rng, out);
-                for (x, &cv) in out.iter_mut().zip(&centers[c * spec.dim..(c + 1) * spec.dim]) {
+                for (x, &cv) in out
+                    .iter_mut()
+                    .zip(&centers[c * spec.dim..(c + 1) * spec.dim])
+                {
                     *x = cv + *x * cluster_std;
                 }
                 vecs::normalize(out);

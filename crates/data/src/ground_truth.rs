@@ -42,8 +42,8 @@ pub fn exact_knn(
     threads: usize,
 ) -> Vec<Neighbors> {
     assert!(dim > 0, "dim must be positive");
-    assert!(data.len() % dim == 0, "data shape");
-    assert!(queries.len() % dim == 0, "queries shape");
+    assert!(data.len().is_multiple_of(dim), "data shape");
+    assert!(queries.len().is_multiple_of(dim), "queries shape");
     let nq = queries.len() / dim;
     let mut out: Vec<Neighbors> = vec![Vec::new(); nq];
     if nq == 0 {

@@ -46,7 +46,7 @@ pub fn read_fvecs(path: &Path) -> io::Result<(Vec<f32>, usize)> {
 
 /// Writes a flat `n × dim` buffer as `.fvecs`.
 pub fn write_fvecs(path: &Path, data: &[f32], dim: usize) -> io::Result<()> {
-    assert!(dim > 0 && data.len() % dim == 0, "data shape");
+    assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
     let mut writer = BufWriter::new(File::create(path)?);
     for row in data.chunks_exact(dim) {
         writer.write_all(&(dim as u32).to_le_bytes())?;
@@ -90,7 +90,7 @@ pub fn read_ivecs(path: &Path) -> io::Result<(Vec<i32>, usize)> {
 
 /// Writes an `.ivecs` file.
 pub fn write_ivecs(path: &Path, data: &[i32], dim: usize) -> io::Result<()> {
-    assert!(dim > 0 && data.len() % dim == 0, "data shape");
+    assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
     let mut writer = BufWriter::new(File::create(path)?);
     for row in data.chunks_exact(dim) {
         writer.write_all(&(dim as u32).to_le_bytes())?;

@@ -81,7 +81,9 @@ impl PartialOrd for Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 
@@ -122,7 +124,7 @@ impl GraphRabitq {
     /// Builds an index over a flat `n × dim` buffer.
     pub fn build(data: &[f32], dim: usize, config: GraphRabitqConfig) -> Self {
         assert!(dim > 0, "dim must be positive");
-        assert!(data.len() % dim == 0, "data shape");
+        assert!(data.len().is_multiple_of(dim), "data shape");
         assert!(config.centroids >= 1, "at least one centroid");
         let n = data.len() / dim;
         let graph = Hnsw::build(data, dim, config.hnsw);
@@ -228,11 +230,7 @@ impl GraphRabitq {
     /// against every centroid (Algorithm 2, lines 1–2, shifted per
     /// centroid). Exposed for callers that amortize one preparation over
     /// several searches or inspect per-vertex estimates.
-    pub fn prepare_query<R: Rng + ?Sized>(
-        &self,
-        query: &[f32],
-        rng: &mut R,
-    ) -> PreparedGraphQuery {
+    pub fn prepare_query<R: Rng + ?Sized>(&self, query: &[f32], rng: &mut R) -> PreparedGraphQuery {
         assert_eq!(query.len(), self.dim(), "query dimensionality");
         let rotated = self.quantizer.rotate(query);
         let padded = self.quantizer.padded_dim();
@@ -496,11 +494,17 @@ mod tests {
         let index = GraphRabitq::build(&[], 8, GraphRabitqConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(index.is_empty());
-        assert!(index.search(&[0.0; 8], 5, 16, &mut rng).neighbors.is_empty());
+        assert!(index
+            .search(&[0.0; 8], 5, 16, &mut rng)
+            .neighbors
+            .is_empty());
 
         let data = gaussian_data(50, 8, 1);
         let index = GraphRabitq::build(&data, 8, GraphRabitqConfig::default());
-        assert!(index.search(&data[..8], 0, 16, &mut rng).neighbors.is_empty());
+        assert!(index
+            .search(&data[..8], 0, 16, &mut rng)
+            .neighbors
+            .is_empty());
     }
 
     #[test]

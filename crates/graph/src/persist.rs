@@ -122,8 +122,7 @@ impl GraphRabitq {
             return Err(invalid("assignment points past the centroid table"));
         }
         // `P⁻¹c` is derived state; recompute it from the loaded rotation.
-        let mut rotated_centroids =
-            Vec::with_capacity(n_centroids * quantizer.padded_dim());
+        let mut rotated_centroids = Vec::with_capacity(n_centroids * quantizer.padded_dim());
         for row in centroids.chunks_exact(dim) {
             rotated_centroids.extend_from_slice(&quantizer.rotate(row));
         }
@@ -202,7 +201,11 @@ mod tests {
         let (n, dim) = (60, 16);
         let mut rng = StdRng::seed_from_u64(23);
         let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
-        for rerank in [GraphRerank::ErrorBound, GraphRerank::Top(7), GraphRerank::None] {
+        for rerank in [
+            GraphRerank::ErrorBound,
+            GraphRerank::Top(7),
+            GraphRerank::None,
+        ] {
             let cfg = GraphRabitqConfig {
                 rerank,
                 ..GraphRabitqConfig::default()

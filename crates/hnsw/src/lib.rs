@@ -53,7 +53,9 @@ impl PartialOrd for Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 
@@ -113,7 +115,7 @@ impl Hnsw {
 
     /// Builds an index over a flat `n × dim` buffer.
     pub fn build(data: &[f32], dim: usize, config: HnswConfig) -> Self {
-        assert!(data.len() % dim == 0, "data shape");
+        assert!(data.len().is_multiple_of(dim), "data shape");
         let mut index = Self::new(dim, config);
         for row in data.chunks_exact(dim) {
             index.insert(row);
@@ -337,9 +339,9 @@ impl Hnsw {
             if selected.len() >= m {
                 break;
             }
-            let dominated = selected.iter().any(|&(kept, _)| {
-                vecs::l2_sq(self.vector(cand), self.vector(kept)) < d_cand
-            });
+            let dominated = selected
+                .iter()
+                .any(|&(kept, _)| vecs::l2_sq(self.vector(cand), self.vector(kept)) < d_cand);
             if !dominated {
                 selected.push((cand, d_cand));
             }
@@ -410,7 +412,10 @@ impl Hnsw {
         }
         let n = data.len() / dim;
         if adjacency.len() != n {
-            return Err(format!("{} adjacency lists for {n} vectors", adjacency.len()));
+            return Err(format!(
+                "{} adjacency lists for {n} vectors",
+                adjacency.len()
+            ));
         }
         if n > 0 && entry as usize >= n {
             return Err(format!("entry point {entry} out of range"));
@@ -459,7 +464,10 @@ impl Hnsw {
             .iter()
             .map(|n| n.neighbors.first().map_or(0, |l| l.len()))
             .sum();
-        (self.max_level + 1, total_deg as f64 / self.nodes.len() as f64)
+        (
+            self.max_level + 1,
+            total_deg as f64 / self.nodes.len() as f64,
+        )
     }
 }
 

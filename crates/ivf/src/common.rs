@@ -83,7 +83,9 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.total_cmp(&other.0).then_with(|| self.1.cmp(&other.1))
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
     }
 }
 

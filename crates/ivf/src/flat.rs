@@ -26,7 +26,7 @@ impl FlatRabitq {
     /// Builds the index over a flat `n × dim` buffer, normalizing against
     /// the data mean.
     pub fn build(data: &[f32], dim: usize, config: RabitqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         let n = data.len() / dim;
         assert!(n > 0, "cannot index an empty dataset");
         let mut centroid = vec![0.0f32; dim];
@@ -328,9 +328,7 @@ mod tests {
             dists.sort_by(|a, b| a.total_cmp(b));
             let radius_sq = dists[30];
             let want: std::collections::HashSet<u32> = (0..ds.n() as u32)
-                .filter(|&id| {
-                    rabitq_math::vecs::l2_sq(ds.vector(id as usize), query) <= radius_sq
-                })
+                .filter(|&id| rabitq_math::vecs::l2_sq(ds.vector(id as usize), query) <= radius_sq)
                 .collect();
             let res = index.range_search(query, radius_sq, &mut rng);
             let got: std::collections::HashSet<u32> =
@@ -371,7 +369,11 @@ mod tests {
         // The far tail is certified *outside* by the lower bound and never
         // verified: estimated = certified-in + exactly-verified + dropped.
         let dropped = res.n_estimated - res.n_reranked - res.n_certified;
-        assert!(dropped > 0, "some of the {} codes must be bound-dropped", ds.n());
+        assert!(
+            dropped > 0,
+            "some of the {} codes must be bound-dropped",
+            ds.n()
+        );
     }
 
     #[test]

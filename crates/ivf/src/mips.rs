@@ -47,7 +47,7 @@ impl FlatMips {
     /// Builds the index over a flat `n × dim` buffer, normalizing against
     /// the data mean (Section 3.1.1's single-centroid instantiation).
     pub fn build(data: &[f32], dim: usize, config: RabitqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         let n = data.len() / dim;
         assert!(n > 0, "cannot index an empty dataset");
         let mut centroid = vec![0.0f32; dim];
@@ -135,8 +135,13 @@ impl FlatMips {
             .enumerate()
             .map(|(i, de)| {
                 let factors = self.codes.factors(i);
-                let ip =
-                    similarity::inner_product(de, factors.norm, prepared.q_dist, self.ip_oc[i], terms);
+                let ip = similarity::inner_product(
+                    de,
+                    factors.norm,
+                    prepared.q_dist,
+                    self.ip_oc[i],
+                    terms,
+                );
                 match score {
                     Score::InnerProduct => (i as u32, ip.ip, ip.upper_bound),
                     Score::Cosine => {
@@ -234,7 +239,11 @@ mod tests {
             let got = index.search_ip(&query, k, &mut rng);
             assert_eq!(got.neighbors.len(), k);
             assert!(got.neighbors.windows(2).all(|w| w[0].1 >= w[1].1));
-            hits += got.neighbors.iter().filter(|(id, _)| truth.contains(id)).count();
+            hits += got
+                .neighbors
+                .iter()
+                .filter(|(id, _)| truth.contains(id))
+                .count();
         }
         let recall = hits as f64 / (10 * k) as f64;
         assert!(recall >= 0.95, "MIPS recall@{k} = {recall}");
@@ -288,7 +297,10 @@ mod tests {
         assert_eq!(index.search_ip(&query, 1, &mut rng).neighbors[0].0, 123);
         assert_eq!(index.search_cosine(&query, 1, &mut rng).neighbors[0].0, 123);
         let cos = index.search_cosine(&query, 1, &mut rng).neighbors[0].1;
-        assert!((cos - 1.0).abs() < 1e-5, "scaled copy has cosine 1, got {cos}");
+        assert!(
+            (cos - 1.0).abs() < 1e-5,
+            "scaled copy has cosine 1, got {cos}"
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl IvfPq {
         pq_config: &PqConfig,
         opq: bool,
     ) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         let n = data.len() / dim;
         assert!(n > 0, "cannot index an empty dataset");
 
@@ -207,8 +207,7 @@ impl IvfPq {
                         .expect("fast scan requires 4-bit codes");
                     let luts = self.quantizer.build_luts(&residual_q);
                     let pq = self.quantizer.pq();
-                    let qluts =
-                        QuantizedLuts::from_f32_luts(&luts, pq.m(), 1usize << pq.k_bits());
+                    let qluts = QuantizedLuts::from_f32_luts(&luts, pq.m(), 1usize << pq.k_bits());
                     packed.scan_all(&qluts, &mut fast_estimates);
                     n_estimated += fast_estimates.len();
                     pool.extend(

@@ -36,12 +36,18 @@ pub struct IvfRabitq {
     buckets: Vec<Bucket>,
     /// Owned copy of the raw vectors for exact re-ranking.
     data: Vec<f32>,
+    /// Tombstone bitmap, one bit per id. Deleted ids stay encoded in their
+    /// buckets (so the fast-scan pack is untouched) but are skipped by every
+    /// search path; compaction (in `rabitq-store`) reclaims the space.
+    deleted: Vec<u64>,
+    /// Number of set bits in `deleted`.
+    n_deleted: usize,
 }
 
 impl IvfRabitq {
     /// Builds the index over a flat `n × dim` buffer.
     pub fn build(data: &[f32], dim: usize, ivf: &IvfConfig, rabitq: RabitqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         let n = data.len() / dim;
         assert!(n > 0, "cannot index an empty dataset");
 
@@ -129,10 +135,13 @@ impl IvfRabitq {
             rotated_centroids,
             buckets,
             data: data.to_vec(),
+            deleted: vec![0u64; n.div_ceil(64)],
+            n_deleted: 0,
         }
     }
 
-    /// Number of indexed vectors.
+    /// Number of indexed vector slots, live and tombstoned alike. Ids are
+    /// never reused, so this is also one past the largest assigned id.
     pub fn len(&self) -> usize {
         self.data.len() / self.dim
     }
@@ -140,6 +149,51 @@ impl IvfRabitq {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) vectors.
+    #[inline]
+    pub fn n_live(&self) -> usize {
+        self.len() - self.n_deleted
+    }
+
+    /// Number of tombstoned vectors.
+    #[inline]
+    pub fn n_deleted(&self) -> usize {
+        self.n_deleted
+    }
+
+    /// Whether `id` is tombstoned. Ids past the end count as deleted so
+    /// callers can treat "never existed" and "removed" uniformly.
+    #[inline]
+    pub fn is_deleted(&self, id: u32) -> bool {
+        let idx = id as usize;
+        if idx >= self.len() {
+            return true;
+        }
+        self.deleted[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Tombstones one vector. Its code stays in place (the fast-scan pack
+    /// is untouched) but every search path skips it from now on; the space
+    /// is reclaimed when the index is rebuilt (e.g. by `rabitq-store`
+    /// compaction). Returns `false` if the id is out of range or already
+    /// tombstoned.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let idx = id as usize;
+        if idx >= self.len() || self.is_deleted(id) {
+            return false;
+        }
+        self.deleted[idx / 64] |= 1u64 << (idx % 64);
+        self.n_deleted += 1;
+        true
+    }
+
+    /// The raw vector stored under `id` (tombstoned or not).
+    #[inline]
+    pub fn vector(&self, id: u32) -> &[f32] {
+        let base = id as usize * self.dim;
+        &self.data[base..base + self.dim]
     }
 
     /// Vector dimensionality.
@@ -206,9 +260,9 @@ impl IvfRabitq {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared =
-                        self.quantizer
-                            .prepare_query_prerotated(&rotated_query, rc, rng);
+                    let prepared = self
+                        .quantizer
+                        .prepare_query_prerotated(&rotated_query, rc, rng);
                     self.quantizer.estimate_batch_with_epsilon(
                         &prepared,
                         &bucket.packed,
@@ -218,6 +272,9 @@ impl IvfRabitq {
                     );
                     n_estimated += estimates.len();
                     for (est, &id) in estimates.iter().zip(bucket.ids.iter()) {
+                        if self.is_deleted(id) {
+                            continue;
+                        }
                         // The paper's rule: drop iff lower bound exceeds the
                         // current K-th best exact distance.
                         if est.lower_bound < top.threshold() {
@@ -241,16 +298,21 @@ impl IvfRabitq {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared =
-                        self.quantizer
-                            .prepare_query_prerotated(&rotated_query, rc, rng);
-                    self.quantizer
-                        .estimate_batch(&prepared, &bucket.packed, &bucket.codes, &mut estimates);
+                    let prepared = self
+                        .quantizer
+                        .prepare_query_prerotated(&rotated_query, rc, rng);
+                    self.quantizer.estimate_batch(
+                        &prepared,
+                        &bucket.packed,
+                        &bucket.codes,
+                        &mut estimates,
+                    );
                     n_estimated += estimates.len();
                     pool.extend(
                         estimates
                             .iter()
                             .zip(bucket.ids.iter())
+                            .filter(|&(_, &id)| !self.is_deleted(id))
                             .map(|(est, &id)| (id, est.dist_sq)),
                     );
                 }
@@ -279,14 +341,20 @@ impl IvfRabitq {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared =
-                        self.quantizer
-                            .prepare_query_prerotated(&rotated_query, rc, rng);
-                    self.quantizer
-                        .estimate_batch(&prepared, &bucket.packed, &bucket.codes, &mut estimates);
+                    let prepared = self
+                        .quantizer
+                        .prepare_query_prerotated(&rotated_query, rc, rng);
+                    self.quantizer.estimate_batch(
+                        &prepared,
+                        &bucket.packed,
+                        &bucket.codes,
+                        &mut estimates,
+                    );
                     n_estimated += estimates.len();
                     for (est, &id) in estimates.iter().zip(bucket.ids.iter()) {
-                        top.push(id, est.dist_sq);
+                        if !self.is_deleted(id) {
+                            top.push(id, est.dist_sq);
+                        }
                     }
                 }
                 SearchResult {
@@ -319,73 +387,112 @@ impl IvfRabitq {
             .encode_into(vector, self.coarse.centroid(c), &mut bucket.codes);
         bucket.ids.push(id);
         bucket.packed = self.quantizer.pack(&bucket.codes);
+        let words = self.len().div_ceil(64);
+        if self.deleted.len() < words {
+            self.deleted.resize(words, 0);
+        }
         id
     }
 
-    /// Saves the index to a file. The format persists the quantizer (with
-    /// its sampled rotation), the coarse centroids, every bucket's ids and
-    /// codes, and the raw vectors (needed for exact re-ranking); the
-    /// fast-scan packing is cheap and rebuilt on load.
+    /// Saves the index to a file (see [`IvfRabitq::write`]).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        use rabitq_core::persist as p;
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        p::write_header(&mut w, "ivf-rabitq")?;
-        p::write_usize(&mut w, self.dim)?;
-        self.quantizer.write(&mut w)?;
-        p::write_f32_slice(&mut w, self.coarse.centroids())?;
-        p::write_f32_slice(&mut w, &self.rotated_centroids)?;
-        p::write_usize(&mut w, self.buckets.len())?;
-        for bucket in &self.buckets {
-            p::write_u32_slice(&mut w, &bucket.ids)?;
-            bucket.codes.write(&mut w)?;
-        }
-        p::write_f32_slice(&mut w, &self.data)?;
+        self.write(&mut w)?;
         use std::io::Write;
         w.flush()
     }
 
+    /// Serializes the index to any writer. The format persists the
+    /// quantizer (with its sampled rotation), the coarse centroids, every
+    /// bucket's ids and codes, the raw vectors (needed for exact
+    /// re-ranking), and the tombstone bitmap; the fast-scan packing is
+    /// cheap and rebuilt on read.
+    pub fn write<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        use rabitq_core::persist as p;
+        // v2 appends the tombstone bitmap; the section bump makes a v1
+        // file fail with a clear version message instead of a surprise
+        // EOF at the missing trailing field.
+        p::write_header(w, "ivf-rabitq-v2")?;
+        p::write_usize(w, self.dim)?;
+        self.quantizer.write(w)?;
+        p::write_f32_slice(w, self.coarse.centroids())?;
+        p::write_f32_slice(w, &self.rotated_centroids)?;
+        p::write_usize(w, self.buckets.len())?;
+        for bucket in &self.buckets {
+            p::write_u32_slice(w, &bucket.ids)?;
+            bucket.codes.write(w)?;
+        }
+        p::write_f32_slice(w, &self.data)?;
+        p::write_u64_slice(w, &self.deleted)?;
+        Ok(())
+    }
+
     /// Loads an index written by [`IvfRabitq::save`].
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
-        use rabitq_core::persist as p;
         let file = std::fs::File::open(path)?;
         let mut r = std::io::BufReader::new(file);
-        let section = p::read_header(&mut r)?;
-        if section != "ivf-rabitq" {
-            return Err(p::invalid(format!("expected ivf-rabitq file, got {section:?}")));
+        Self::read(&mut r)
+    }
+
+    /// Deserializes an index written by [`IvfRabitq::write`].
+    pub fn read<R: std::io::Read>(r: &mut R) -> std::io::Result<Self> {
+        use rabitq_core::persist as p;
+        let section = p::read_header(r)?;
+        if section == "ivf-rabitq" {
+            return Err(p::invalid(
+                "this is a v1 ivf-rabitq file (no tombstone bitmap); rebuild \
+                 the index with this version to load it",
+            ));
         }
-        let dim = p::read_usize(&mut r)?;
-        let quantizer = Rabitq::read(&mut r)?;
+        if section != "ivf-rabitq-v2" {
+            return Err(p::invalid(format!(
+                "expected ivf-rabitq-v2 file, got {section:?}"
+            )));
+        }
+        let dim = p::read_usize(r)?;
+        let quantizer = Rabitq::read(&mut *r)?;
         if quantizer.dim() != dim {
             return Err(p::invalid("quantizer dimensionality mismatch"));
         }
-        let centroids = p::read_f32_vec(&mut r)?;
+        let centroids = p::read_f32_vec(&mut *r)?;
         if centroids.is_empty() || centroids.len() % dim != 0 {
             return Err(p::invalid("centroid buffer shape"));
         }
         let coarse = KMeans::from_centroids(centroids, dim);
-        let rotated_centroids = p::read_f32_vec(&mut r)?;
+        let rotated_centroids = p::read_f32_vec(&mut *r)?;
         if rotated_centroids.len() != coarse.k() * quantizer.padded_dim() {
             return Err(p::invalid("rotated centroid buffer shape"));
         }
-        let n_buckets = p::read_usize(&mut r)?;
+        let n_buckets = p::read_usize(&mut *r)?;
         if n_buckets != coarse.k() {
             return Err(p::invalid("bucket count disagrees with centroids"));
         }
         let mut buckets = Vec::with_capacity(n_buckets);
         for _ in 0..n_buckets {
-            let ids = p::read_u32_vec(&mut r)?;
-            let codes = CodeSet::read(&mut r)?;
+            let ids = p::read_u32_vec(&mut *r)?;
+            let codes = CodeSet::read(&mut *r)?;
             if codes.len() != ids.len() || codes.padded_dim() != quantizer.padded_dim() {
                 return Err(p::invalid("bucket codes disagree with ids"));
             }
             let packed = quantizer.pack(&codes);
             buckets.push(Bucket { ids, codes, packed });
         }
-        let data = p::read_f32_vec(&mut r)?;
+        let data = p::read_f32_vec(&mut *r)?;
         if data.len() % dim != 0 {
             return Err(p::invalid("raw data buffer shape"));
         }
+        let n = data.len() / dim;
+        let deleted = p::read_u64_vec(&mut *r)?;
+        if deleted.len() != n.div_ceil(64) {
+            return Err(p::invalid("tombstone bitmap shape"));
+        }
+        if let Some(last) = deleted.last() {
+            if n % 64 != 0 && *last >> (n % 64) != 0 {
+                return Err(p::invalid("tombstone bits past the last vector"));
+            }
+        }
+        let n_deleted = deleted.iter().map(|w| w.count_ones() as usize).sum();
         Ok(Self {
             dim,
             quantizer,
@@ -393,6 +500,8 @@ impl IvfRabitq {
             rotated_centroids,
             buckets,
             data,
+            deleted,
+            n_deleted,
         })
     }
 
@@ -601,6 +710,62 @@ mod tests {
             let overlap = ids_a.iter().filter(|id| ids_b.contains(id)).count();
             assert!(overlap >= 4, "query {qi}: {ids_a:?} vs {ids_b:?}");
         }
+    }
+
+    #[test]
+    fn removed_vectors_vanish_from_search_immediately() {
+        let ds = dataset(400, 16);
+        let mut index = build(&ds, 4);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Insert a vector identical to the query, confirm it wins, then
+        // tombstone it: the next search must not return it, under every
+        // re-ranking strategy.
+        let probe = ds.query(0).to_vec();
+        let new_id = index.insert(&probe);
+        let res = index.search(&probe, 3, 4, &mut rng);
+        assert_eq!(res.neighbors[0].0, new_id);
+
+        assert!(index.remove(new_id));
+        assert!(index.is_deleted(new_id));
+        assert_eq!(index.n_live(), 400);
+        for strategy in [
+            RerankStrategy::ErrorBound,
+            RerankStrategy::TopCandidates(100),
+            RerankStrategy::None,
+        ] {
+            let res = index.search_with(&probe, 3, 4, strategy, &mut rng);
+            assert_eq!(res.neighbors.len(), 3);
+            assert!(
+                res.neighbors.iter().all(|&(id, _)| id != new_id),
+                "{strategy:?} returned a tombstoned id"
+            );
+        }
+        // Double-remove and out-of-range are clean no-ops.
+        assert!(!index.remove(new_id));
+        assert!(!index.remove(10_000));
+        assert_eq!(index.n_deleted(), 1);
+    }
+
+    #[test]
+    fn tombstones_survive_save_and_load() {
+        let ds = dataset(300, 16);
+        let mut index = build(&ds, 4);
+        for id in [3u32, 77, 140, 299] {
+            assert!(index.remove(id));
+        }
+        let path =
+            std::env::temp_dir().join(format!("rabitq-ivf-tombstones-{}.rbq", std::process::id()));
+        index.save(&path).unwrap();
+        let loaded = IvfRabitq::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.n_deleted(), 4);
+        assert_eq!(loaded.n_live(), 296);
+        for id in [3u32, 77, 140, 299] {
+            assert!(loaded.is_deleted(id));
+        }
+        let mut rng = StdRng::seed_from_u64(12);
+        let res = loaded.search(ds.vector(77), 5, 4, &mut rng);
+        assert!(res.neighbors.iter().all(|&(id, _)| id != 77));
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl KMeans {
     pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "dim must be positive");
         assert!(
-            !centroids.is_empty() && centroids.len() % dim == 0,
+            !centroids.is_empty() && centroids.len().is_multiple_of(dim),
             "centroid buffer shape"
         );
         let k = centroids.len() / dim;
@@ -177,7 +177,7 @@ pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeans {
     assert!(dim > 0, "dim must be positive");
     assert!(config.k > 0, "k must be positive");
     assert!(
-        data.len() % dim == 0,
+        data.len().is_multiple_of(dim),
         "data length {} is not a multiple of dim {dim}",
         data.len()
     );
@@ -201,7 +201,8 @@ pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeans {
         _ => (0..n).collect(),
     };
     let tn = sample_indices.len();
-    let row = |i: usize| -> &[f32] { &data[sample_indices[i] * dim..sample_indices[i] * dim + dim] };
+    let row =
+        |i: usize| -> &[f32] { &data[sample_indices[i] * dim..sample_indices[i] * dim + dim] };
 
     let k = config.k.min(tn);
     let mut centroids = kmeanspp_seed(&sample_indices, data, dim, k, &mut rng);
@@ -224,9 +225,9 @@ pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeans {
         };
         let mut new_objective = 0.0f64;
         if config.threads <= 1 || tn < 1024 {
-            for i in 0..tn {
+            for (i, slot) in assignment.iter_mut().enumerate().take(tn) {
                 let (c, d) = model.assign(row(i));
-                assignment[i] = c as u32;
+                *slot = c as u32;
                 new_objective += d as f64;
             }
         } else {
@@ -265,8 +266,8 @@ pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeans {
         // Update step.
         sums.fill(0.0);
         counts.fill(0);
-        for i in 0..tn {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate().take(tn) {
+            let c = a as usize;
             counts[c] += 1;
             let r = row(i);
             let s = &mut sums[c * dim..(c + 1) * dim];
@@ -280,12 +281,9 @@ pub fn train(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeans {
                 // its assigned centroid.
                 let mut worst = 0usize;
                 let mut worst_d = -1.0f32;
-                for i in 0..tn {
-                    let cur = assignment[i] as usize;
-                    let d = vecs::l2_sq(
-                        &centroids[cur * dim..(cur + 1) * dim],
-                        row(i),
-                    );
+                for (i, &a) in assignment.iter().enumerate().take(tn) {
+                    let cur = a as usize;
+                    let d = vecs::l2_sq(&centroids[cur * dim..(cur + 1) * dim], row(i));
                     if d > worst_d {
                         worst_d = d;
                         worst = i;
@@ -399,7 +397,9 @@ mod tests {
         for blob in 0..3 {
             let first = labels[blob * 50];
             assert!(
-                labels[blob * 50..(blob + 1) * 50].iter().all(|&l| l == first),
+                labels[blob * 50..(blob + 1) * 50]
+                    .iter()
+                    .all(|&l| l == first),
                 "blob {blob} split across clusters"
             );
         }

@@ -58,7 +58,7 @@ impl SignDiagonal {
             *w = rng.gen();
         }
         // Mask tail bits so equality and popcount-style invariants hold.
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             let last = bits.len() - 1;
             bits[last] &= (1u64 << (len % 64)) - 1;
         }

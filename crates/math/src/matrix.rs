@@ -129,8 +129,7 @@ impl Matrix {
                 let arow = self.row(i);
                 let orow_range = i * other.cols..(i + 1) * other.cols;
                 let orow = &mut out.data[orow_range];
-                for k in kb..kend {
-                    let a = arow[k];
+                for (k, &a) in arow.iter().enumerate().take(kend).skip(kb) {
                     if a != 0.0 {
                         vecs::axpy(a, other.row(k), orow);
                     }

@@ -71,8 +71,7 @@ mod tests {
         let n = 200_000;
         let v = standard_normal_vec(&mut rng, n);
         let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var: f64 = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "variance {var}");
     }

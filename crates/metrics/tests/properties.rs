@@ -1,7 +1,9 @@
 //! Property-based tests for the metrics crate.
 
 use proptest::prelude::*;
-use rabitq_metrics::{average_distance_ratio, linear_regression, recall_at_k, Histogram, RelativeErrorStats};
+use rabitq_metrics::{
+    average_distance_ratio, linear_regression, recall_at_k, Histogram, RelativeErrorStats,
+};
 
 proptest! {
     #[test]

@@ -272,10 +272,7 @@ mod tests {
             .collect();
         true_d.sort_by(|a, b| a.1.total_cmp(&b.1));
         let closest = true_d[0].0;
-        let rank = est
-            .iter()
-            .filter(|&&e| e < est[closest])
-            .count();
+        let rank = est.iter().filter(|&&e| e < est[closest]).count();
         assert!(rank < 50, "true NN ranked {rank} by PQ fast scan");
     }
 }

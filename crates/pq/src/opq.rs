@@ -53,7 +53,7 @@ pub struct Opq {
 impl Opq {
     /// Trains OPQ over `data` (flat `n × dim`).
     pub fn train(data: &[f32], dim: usize, config: &OpqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         let n = data.len() / dim;
         assert!(n > 0, "cannot train on an empty dataset");
         let mut rng = StdRng::seed_from_u64(config.pq.seed ^ 0x0590);
@@ -174,7 +174,8 @@ impl Opq {
         let mut code = Vec::with_capacity(self.pq.m());
         let mut rec = vec![0.0f32; dim];
         for i in 0..n {
-            self.rotation.matvec(&data[i * dim..(i + 1) * dim], &mut rotated);
+            self.rotation
+                .matvec(&data[i * dim..(i + 1) * dim], &mut rotated);
             code.clear();
             self.pq.encode(&rotated, &mut code);
             self.pq.decode(&code, &mut rec);

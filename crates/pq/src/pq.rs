@@ -81,11 +81,7 @@ impl PqCodes {
     /// Number of encoded vectors.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.m == 0 {
-            0
-        } else {
-            self.codes.len() / self.m
-        }
+        self.codes.len().checked_div(self.m).unwrap_or(0)
     }
 
     /// Whether the set is empty.
@@ -108,9 +104,9 @@ impl ProductQuantizer {
     /// Panics if `config.m` does not divide `dim`, `k_bits ∉ {4, 8}`, or
     /// `data` is empty.
     pub fn train(data: &[f32], dim: usize, config: &PqConfig) -> Self {
-        assert!(dim > 0 && data.len() % dim == 0, "data shape");
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "data shape");
         assert!(
-            config.m > 0 && dim % config.m == 0,
+            config.m > 0 && dim.is_multiple_of(config.m),
             "M = {} must divide D = {dim}",
             config.m
         );

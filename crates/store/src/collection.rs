@@ -1,0 +1,480 @@
+//! The collection: WAL + memtable + sealed segments behind one mutable,
+//! crash-safe, searchable surface.
+//!
+//! ## Write path
+//! Every mutation is appended to the WAL first, then applied in memory.
+//! Inserts land in the memtable; when it crosses the configured threshold
+//! it **seals**: the rows are rebuilt into an immutable IVF-RaBitQ
+//! segment, the segment file and then the manifest are written (each via
+//! temp-file + atomic rename), and the WAL is reset.
+//!
+//! ## Crash recovery
+//! Reopening replays the WAL over the manifest's segment set. The ordering
+//! of the seal makes every crash window harmless:
+//!
+//! * crash before the manifest switch → the WAL still holds the rows; the
+//!   orphaned segment file is never referenced;
+//! * crash between manifest switch and WAL reset → insert records below
+//!   the manifest's `wal_floor` are skipped (already in a segment) and
+//!   delete records re-apply idempotently;
+//! * torn final WAL record → dropped and truncated by [`crate::Wal`].
+//!
+//! ## Read path
+//! A query fans out to the memtable (exact scan) and every segment (the
+//! paper's error-bound re-ranked search), and the per-source candidates —
+//! all carrying **exact** distances — k-way-merge through the same
+//! [`TopK`] used inside the IVF index. The result is contract-identical
+//! to [`IvfRabitq::search`]: exact squared distances, ascending.
+
+use crate::compaction::{CompactionPolicy, SegmentStats};
+use crate::manifest::{atomic_write, Manifest, SegmentMeta, MANIFEST_FILE};
+use crate::memtable::Memtable;
+use crate::segment::Segment;
+use crate::wal::{Wal, WalRecord};
+use rabitq_core::RabitqConfig;
+use rabitq_ivf::{IvfConfig, IvfRabitq, SearchResult, TopK};
+use rand::Rng;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the write-ahead log within a collection directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Tuning for a [`Collection`].
+#[derive(Clone, Debug)]
+pub struct CollectionConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Memtable rows that trigger a seal into a segment.
+    pub memtable_capacity: usize,
+    /// Quantizer configuration for sealed segments.
+    pub rabitq: RabitqConfig,
+    /// Template for per-segment IVF builds. `n_clusters` is ignored — each
+    /// segment re-derives it from its own row count via the `4√n` rule.
+    pub ivf: IvfConfig,
+    /// When to merge segments.
+    pub policy: CompactionPolicy,
+    /// Run the policy automatically after every seal.
+    pub auto_compact: bool,
+}
+
+impl CollectionConfig {
+    /// Defaults sized for experiment-scale collections.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            memtable_capacity: 4096,
+            rabitq: RabitqConfig::default(),
+            ivf: IvfConfig::new(1),
+            policy: CompactionPolicy::default(),
+            auto_compact: true,
+        }
+    }
+}
+
+/// A durable, mutable vector collection served by IVF-RaBitQ segments.
+pub struct Collection {
+    dir: PathBuf,
+    config: CollectionConfig,
+    manifest: Manifest,
+    wal: Wal,
+    memtable: Memtable,
+    segments: Vec<Segment>,
+    next_id: u32,
+}
+
+/// The manifest entry describing one segment's current state.
+fn segment_meta(segment: &Segment) -> SegmentMeta {
+    SegmentMeta {
+        file: segment.name().to_string(),
+        tombstones: segment.tombstones(),
+    }
+}
+
+impl Collection {
+    /// Opens the collection at `dir`, creating it (and the directory) if
+    /// absent, and replays any WAL left by the last process.
+    ///
+    /// For an existing collection the manifest's quantizer configuration
+    /// wins over `config.rabitq` — the sealed segments were built with
+    /// it, and compaction must keep building with it. The runtime knobs
+    /// (`memtable_capacity`, `policy`, `auto_compact`) always come from
+    /// `config`.
+    pub fn open(dir: &Path, mut config: CollectionConfig) -> io::Result<Self> {
+        assert!(config.dim > 0, "dimension must be positive");
+        assert!(
+            config.memtable_capacity > 0,
+            "memtable capacity must be positive"
+        );
+        std::fs::create_dir_all(dir)?;
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = if manifest_path.exists() {
+            let mut m = Manifest::load(&manifest_path)?;
+            if m.dim != config.dim {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "collection is {}-dimensional, config says {}",
+                        m.dim, config.dim
+                    ),
+                ));
+            }
+            config.rabitq = m.rabitq;
+            m.memtable_capacity = config.memtable_capacity;
+            m
+        } else {
+            // Write the fresh manifest immediately so the directory is a
+            // valid collection (openable by `open_existing`) before the
+            // first seal, and the chosen quantizer config is durable.
+            let mut m = Manifest::new(config.dim);
+            m.rabitq = config.rabitq;
+            m.memtable_capacity = config.memtable_capacity;
+            m.store(&manifest_path)?;
+            m
+        };
+
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            let mut segment = Segment::load(&dir.join(&meta.file))?;
+            for &id in &meta.tombstones {
+                segment.delete(id);
+            }
+            segments.push(segment);
+        }
+
+        let (wal, replay) = Wal::open(&dir.join(WAL_FILE), config.dim)?;
+        let mut memtable = Memtable::new(config.dim);
+        let mut next_id = manifest.next_id;
+        for record in replay.records {
+            match record {
+                WalRecord::Insert { id, vector } => {
+                    // Below the floor ⇒ already durable in a segment (the
+                    // crash hit between manifest switch and WAL reset).
+                    if id >= manifest.wal_floor && !memtable.contains(id) {
+                        memtable.insert(id, &vector);
+                    }
+                    next_id = next_id.max(id + 1);
+                }
+                WalRecord::Delete { id } => {
+                    // Idempotent: re-applying an already-manifested
+                    // tombstone (or one whose row was compacted away) is a
+                    // no-op.
+                    if !memtable.delete(id) {
+                        for segment in &mut segments {
+                            if segment.delete(id) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            manifest,
+            wal,
+            memtable,
+            segments,
+            next_id,
+        })
+    }
+
+    /// Opens an existing collection, taking the dimensionality, quantizer
+    /// configuration, and memtable capacity from its manifest (for
+    /// tooling that only knows the directory).
+    pub fn open_existing(dir: &Path) -> io::Result<Self> {
+        let manifest = Manifest::load(&dir.join(MANIFEST_FILE))?;
+        let mut config = CollectionConfig::new(manifest.dim);
+        config.rabitq = manifest.rabitq;
+        config.memtable_capacity = manifest.memtable_capacity.max(1);
+        Self::open(dir, config)
+    }
+
+    /// Collection directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration this collection was opened with.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Live vectors across memtable and segments.
+    pub fn len(&self) -> usize {
+        self.memtable.len() + self.segments.iter().map(Segment::n_live).sum::<usize>()
+    }
+
+    /// Whether no live vectors exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of sealed segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Appends one vector, returning its permanent id. The write is WAL'd
+    /// before it is visible; a seal is triggered when the memtable fills.
+    pub fn insert(&mut self, vector: &[f32]) -> io::Result<u32> {
+        assert_eq!(vector.len(), self.config.dim, "vector dimensionality");
+        let id = self.next_id;
+        self.wal.append_insert(id, vector)?;
+        self.memtable.insert(id, vector);
+        self.next_id = self.next_id.checked_add(1).expect("id space exhausted");
+        if self.memtable.len() >= self.config.memtable_capacity {
+            self.seal()?;
+        }
+        Ok(id)
+    }
+
+    /// Tombstones `id` wherever it lives. Returns `false` (and writes
+    /// nothing) if the id is unknown or already deleted.
+    pub fn delete(&mut self, id: u32) -> io::Result<bool> {
+        if self.memtable.contains(id) {
+            self.wal.append_delete(id)?;
+            self.memtable.delete(id);
+            return Ok(true);
+        }
+        let Some(seg) = self.segments.iter().position(|s| s.contains_live(id)) else {
+            return Ok(false);
+        };
+        self.wal.append_delete(id)?;
+        self.segments[seg].delete(id);
+        Ok(true)
+    }
+
+    /// Searches across memtable and all segments. Exact squared distances,
+    /// ascending — the same contract as [`IvfRabitq::search`].
+    pub fn search<R: Rng + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        rng: &mut R,
+    ) -> SearchResult {
+        assert_eq!(query.len(), self.config.dim, "query dimensionality");
+        let mut top = TopK::new(k);
+        let mut n_estimated = 0usize;
+        let mut n_reranked = 0usize;
+        if k > 0 {
+            n_reranked += self.memtable.scan_into(query, &mut top);
+            for segment in &self.segments {
+                let res = segment.search(query, k, nprobe, rng);
+                n_estimated += res.n_estimated;
+                n_reranked += res.n_reranked;
+                for (id, dist) in res.neighbors {
+                    top.push(id, dist);
+                }
+            }
+        }
+        SearchResult {
+            neighbors: top.into_sorted(),
+            n_estimated,
+            n_reranked,
+        }
+    }
+
+    /// Seals the memtable into a new immutable segment (no-op when empty).
+    /// Ordering is the crash-safety contract: segment file → manifest
+    /// switch → WAL reset. In-memory state only changes once both durable
+    /// writes succeed, so an I/O error leaves the collection exactly as it
+    /// was (rows still served from the memtable, still covered by the WAL).
+    pub fn seal(&mut self) -> io::Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let name = format!("seg-{:06}.rbq", self.manifest.next_segment_seq);
+        let segment = Segment::build(
+            name.clone(),
+            self.memtable.ids().to_vec(),
+            self.memtable.data(),
+            self.config.dim,
+            &self.config.ivf,
+            self.config.rabitq,
+        );
+        let mut bytes = Vec::new();
+        segment.write(&mut bytes)?;
+        atomic_write(&self.dir.join(&name), &bytes)?;
+
+        let mut staged = self.manifest.clone();
+        staged.next_segment_seq += 1;
+        staged.next_id = self.next_id;
+        staged.wal_floor = self.next_id;
+        staged.segments = self.segment_metas();
+        staged.segments.push(SegmentMeta {
+            file: name,
+            tombstones: Vec::new(),
+        });
+        staged.store(&self.dir.join(MANIFEST_FILE))?;
+
+        // Durable — commit.
+        self.manifest = staged;
+        self.segments.push(segment);
+        self.memtable.clear();
+        self.wal.reset()?;
+
+        if self.config.auto_compact {
+            self.maybe_compact()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the configured policy; merges whatever it picks. Returns
+    /// whether a merge happened.
+    pub fn maybe_compact(&mut self) -> io::Result<bool> {
+        let stats: Vec<SegmentStats> = self
+            .segments
+            .iter()
+            .map(|s| SegmentStats {
+                n_total: s.len(),
+                n_live: s.n_live(),
+            })
+            .collect();
+        let plan = self.config.policy.plan(&stats);
+        if plan.is_empty() {
+            return Ok(false);
+        }
+        self.compact_indices(&plan)?;
+        Ok(true)
+    }
+
+    /// Force-merges **all** segments (and reclaims every tombstone) into
+    /// one rebuilt index. Returns whether anything changed.
+    pub fn compact(&mut self) -> io::Result<bool> {
+        let needs = self.segments.len() > 1 || self.segments.iter().any(|s| s.n_live() < s.len());
+        if !needs {
+            return Ok(false);
+        }
+        let all: Vec<usize> = (0..self.segments.len()).collect();
+        self.compact_indices(&all)?;
+        Ok(true)
+    }
+
+    /// Merges the segments at `indices` (sorted, deduplicated) into one
+    /// new segment holding only their live rows. Ordering mirrors the
+    /// seal: new file → manifest switch → old files unlinked; a crash
+    /// anywhere leaves either the old set or the new set referenced.
+    fn compact_indices(&mut self, indices: &[usize]) -> io::Result<()> {
+        let mut ids = Vec::new();
+        let mut data = Vec::new();
+        for &i in indices {
+            for (id, vector) in self.segments[i].live_entries() {
+                ids.push(id);
+                data.extend_from_slice(vector);
+            }
+        }
+        // Keep ids ascending so merged segments look like sealed ones.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_unstable_by_key(|&r| ids[r]);
+        let dim = self.config.dim;
+        let (sorted_ids, sorted_data) = order.iter().fold(
+            (
+                Vec::with_capacity(ids.len()),
+                Vec::with_capacity(data.len()),
+            ),
+            |(mut si, mut sd), &r| {
+                si.push(ids[r]);
+                sd.extend_from_slice(&data[r * dim..(r + 1) * dim]);
+                (si, sd)
+            },
+        );
+
+        let replacement = if sorted_ids.is_empty() {
+            None // every row was tombstoned: the segments just disappear
+        } else {
+            let name = format!("seg-{:06}.rbq", self.manifest.next_segment_seq);
+            let segment = Segment::build(
+                name.clone(),
+                sorted_ids,
+                &sorted_data,
+                dim,
+                &self.config.ivf,
+                self.config.rabitq,
+            );
+            let mut bytes = Vec::new();
+            segment.write(&mut bytes)?;
+            atomic_write(&self.dir.join(&name), &bytes)?;
+            Some(segment)
+        };
+
+        // Stage the post-merge manifest; in-memory state only changes
+        // after the rename lands.
+        let mut staged = self.manifest.clone();
+        if replacement.is_some() {
+            staged.next_segment_seq += 1;
+        }
+        staged.segments = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !indices.contains(i))
+            .map(|(_, s)| segment_meta(s))
+            .chain(replacement.iter().map(|s| SegmentMeta {
+                file: s.name().to_string(),
+                tombstones: Vec::new(),
+            }))
+            .collect();
+        staged.store(&self.dir.join(MANIFEST_FILE))?;
+
+        // Durable — commit, then unlink the now-unreferenced files.
+        self.manifest = staged;
+        let mut old_files = Vec::with_capacity(indices.len());
+        for &i in indices.iter().rev() {
+            old_files.push(self.segments.remove(i).name().to_string());
+        }
+        if let Some(segment) = replacement {
+            self.segments.push(segment);
+        }
+        for file in old_files {
+            std::fs::remove_file(self.dir.join(file)).ok();
+        }
+        Ok(())
+    }
+
+    /// The manifest entries for the current in-memory segment set.
+    fn segment_metas(&self) -> Vec<SegmentMeta> {
+        self.segments.iter().map(segment_meta).collect()
+    }
+
+    /// Builds a throwaway [`IvfRabitq`] over the collection's current live
+    /// rows — the "fresh rebuild" baseline used by benchmarks and the
+    /// compaction acceptance test. Returns the index and the global id of
+    /// each of its rows.
+    pub fn to_flat_index(&self) -> Option<(IvfRabitq, Vec<u32>)> {
+        let dim = self.config.dim;
+        let mut ids = Vec::new();
+        let mut data = Vec::new();
+        for segment in &self.segments {
+            for (id, vector) in segment.live_entries() {
+                ids.push(id);
+                data.extend_from_slice(vector);
+            }
+        }
+        for (id, vector) in self.memtable.entries() {
+            ids.push(id);
+            data.extend_from_slice(vector);
+        }
+        if ids.is_empty() {
+            return None;
+        }
+        let mut ivf = self.config.ivf.clone();
+        ivf.n_clusters = IvfConfig::clusters_for(ids.len()).min(ids.len());
+        let index = IvfRabitq::build(&data, dim, &ivf, self.config.rabitq);
+        Some((index, ids))
+    }
+}

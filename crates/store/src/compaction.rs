@@ -1,0 +1,131 @@
+//! Compaction policy: when to fold segments together.
+//!
+//! Two pressures trigger a merge. **Dead weight**: tombstones accumulate
+//! in a sealed segment until most of its codes are skipped on every scan —
+//! once the dead fraction crosses a threshold the segment is worth
+//! rewriting. **Fan-out**: every query visits every segment, so the
+//! segment count is capped; when seals outrun merges, the smallest
+//! segments are folded into one. The policy only *plans*; the collection
+//! executes the merge (gather live rows → rebuild one IVF-RaBitQ index →
+//! swap the manifest).
+
+/// Shape of one segment, as the policy sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentStats {
+    /// Total rows, live and tombstoned.
+    pub n_total: usize,
+    /// Live rows.
+    pub n_live: usize,
+}
+
+impl SegmentStats {
+    /// Fraction of rows that are tombstoned.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.n_total == 0 {
+            1.0
+        } else {
+            1.0 - self.n_live as f64 / self.n_total as f64
+        }
+    }
+}
+
+/// Threshold-driven compaction policy.
+#[derive(Clone, Debug)]
+pub struct CompactionPolicy {
+    /// Soft cap on the number of segments a query fans out over.
+    pub max_segments: usize,
+    /// A segment whose dead fraction exceeds this is rewritten.
+    pub max_dead_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            max_segments: 8,
+            max_dead_fraction: 0.5,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Plans a compaction over the current segment set: returns the sorted
+    /// indices of segments to merge into one, or an empty vector if the
+    /// collection is healthy. A single over-dead segment is still
+    /// "merged" (rewritten alone) — that is how its tombstones are
+    /// physically reclaimed.
+    pub fn plan(&self, stats: &[SegmentStats]) -> Vec<usize> {
+        let mut chosen: Vec<usize> = stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dead_fraction() > self.max_dead_fraction)
+            .map(|(i, _)| i)
+            .collect();
+
+        if stats.len() > self.max_segments.max(1) {
+            // Fold the smallest segments until the cap holds again. The
+            // merge replaces `chosen.len()` segments with one, so pick
+            // enough to land at `max_segments`.
+            let mut by_size: Vec<usize> = (0..stats.len()).collect();
+            by_size.sort_by_key(|&i| stats[i].n_live);
+            let need = stats.len() - self.max_segments + 1;
+            for &i in by_size.iter().take(need.max(2)) {
+                if !chosen.contains(&i) {
+                    chosen.push(i);
+                }
+            }
+        }
+
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(n_total: usize, n_live: usize) -> SegmentStats {
+        SegmentStats { n_total, n_live }
+    }
+
+    #[test]
+    fn healthy_collections_are_left_alone() {
+        let policy = CompactionPolicy::default();
+        assert!(policy.plan(&[seg(100, 90), seg(200, 200)]).is_empty());
+        assert!(policy.plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn over_dead_segments_are_rewritten() {
+        let policy = CompactionPolicy::default();
+        // 60% dead crosses the 50% default.
+        assert_eq!(policy.plan(&[seg(100, 40), seg(100, 99)]), vec![0]);
+        // Exactly at the threshold does not trigger.
+        assert!(policy.plan(&[seg(100, 50)]).is_empty());
+        // An all-dead segment triggers too.
+        assert_eq!(policy.plan(&[seg(50, 0)]), vec![0]);
+    }
+
+    #[test]
+    fn too_many_segments_fold_the_smallest() {
+        let policy = CompactionPolicy {
+            max_segments: 2,
+            max_dead_fraction: 0.5,
+        };
+        let stats = [seg(1000, 1000), seg(10, 10), seg(20, 20)];
+        // Cap is 2, we have 3: merge the two smallest (indices 1 and 2).
+        assert_eq!(policy.plan(&stats), vec![1, 2]);
+    }
+
+    #[test]
+    fn dead_and_small_pressures_combine() {
+        let policy = CompactionPolicy {
+            max_segments: 3,
+            max_dead_fraction: 0.5,
+        };
+        let stats = [seg(1000, 100), seg(10, 10), seg(20, 20), seg(500, 500)];
+        let plan = policy.plan(&stats);
+        assert!(plan.contains(&0)); // 90% dead
+        assert!(plan.len() >= 2); // and the count cap forces a real merge
+    }
+}

@@ -1,0 +1,148 @@
+//! The memtable: fresh writes held in plain `f32` rows and searched by
+//! exact scan.
+//!
+//! Fresh vectors are few (bounded by the seal threshold), so a brute-force
+//! scan is both the fastest and the only *unbiased-by-construction* option:
+//! exact distances need no estimator, no error bound, and merge directly
+//! with the segments' re-ranked exact distances.
+
+use rabitq_ivf::TopK;
+use rabitq_math::vecs;
+
+/// In-memory buffer of `(global id, vector)` rows awaiting a seal.
+pub struct Memtable {
+    dim: usize,
+    ids: Vec<u32>,
+    data: Vec<f32>,
+}
+
+impl Memtable {
+    /// An empty memtable for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            dim,
+            ids: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of buffered vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Buffers one vector under `id`.
+    pub fn insert(&mut self, id: u32, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimensionality");
+        debug_assert!(!self.contains(id), "duplicate id {id} in memtable");
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+    }
+
+    /// Whether `id` is buffered here.
+    pub fn contains(&self, id: u32) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Drops the vector under `id` (memtable deletes need no tombstone —
+    /// the row simply ceases to exist). Returns whether it was present.
+    pub fn delete(&mut self, id: u32) -> bool {
+        match self.ids.iter().position(|&x| x == id) {
+            None => false,
+            Some(row) => {
+                let last = self.ids.len() - 1;
+                self.ids.swap_remove(row);
+                if row != last {
+                    let (head, tail) = self.data.split_at_mut(last * self.dim);
+                    head[row * self.dim..(row + 1) * self.dim].copy_from_slice(tail);
+                }
+                self.data.truncate(last * self.dim);
+                true
+            }
+        }
+    }
+
+    /// Exact-scans every row into `top`, returning the number of exact
+    /// distances computed (the memtable's contribution to `n_reranked`).
+    pub fn scan_into(&self, query: &[f32], top: &mut TopK) -> usize {
+        assert_eq!(query.len(), self.dim, "query dimensionality");
+        for (row, &id) in self.ids.iter().enumerate() {
+            let base = row * self.dim;
+            top.push(id, vecs::l2_sq(&self.data[base..base + self.dim], query));
+        }
+        self.ids.len()
+    }
+
+    /// Iterates `(id, vector)` rows in insertion order (used by the seal).
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| (id, &self.data[row * self.dim..(row + 1) * self.dim]))
+    }
+
+    /// The buffered ids in insertion order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The buffered rows as one flat `len × dim` buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Empties the memtable (after its contents sealed into a segment).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.data.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_scan_and_delete() {
+        let mut mt = Memtable::new(2);
+        mt.insert(10, &[0.0, 0.0]);
+        mt.insert(11, &[1.0, 0.0]);
+        mt.insert(12, &[5.0, 5.0]);
+        assert_eq!(mt.len(), 3);
+
+        let mut top = TopK::new(2);
+        assert_eq!(mt.scan_into(&[0.1, 0.0], &mut top), 3);
+        let got = top.into_sorted();
+        assert_eq!(got[0].0, 10);
+        assert_eq!(got[1].0, 11);
+
+        // swap_remove path: delete a middle row, survivors stay intact.
+        assert!(mt.delete(11));
+        assert!(!mt.delete(11));
+        assert_eq!(mt.len(), 2);
+        let rows: Vec<(u32, Vec<f32>)> = mt.entries().map(|(id, v)| (id, v.to_vec())).collect();
+        assert!(rows.contains(&(10, vec![0.0, 0.0])));
+        assert!(rows.contains(&(12, vec![5.0, 5.0])));
+    }
+
+    #[test]
+    fn delete_last_row() {
+        let mut mt = Memtable::new(2);
+        mt.insert(1, &[1.0, 1.0]);
+        mt.insert(2, &[2.0, 2.0]);
+        assert!(mt.delete(2));
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.data(), &[1.0, 1.0]);
+    }
+}

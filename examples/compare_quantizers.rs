@@ -38,7 +38,11 @@ fn main() {
 
     // Exact distances for scoring.
     let exact: Vec<Vec<f32>> = (0..n_queries)
-        .map(|qi| (0..n).map(|i| vecs::l2_sq(ds.vector(i), ds.query(qi))).collect())
+        .map(|qi| {
+            (0..n)
+                .map(|i| vecs::l2_sq(ds.vector(i), ds.query(qi)))
+                .collect()
+        })
         .collect();
 
     println!("method                bits/vec  avg-rel-err  max-rel-err");

@@ -118,5 +118,8 @@ fn main() {
         res.n_reranked,
         100.0 * res.n_reranked as f64 / res.n_estimated as f64
     );
-    assert_eq!(res.neighbors[0].0 as usize, best_true.0, "FlatMips agrees with brute force");
+    assert_eq!(
+        res.neighbors[0].0 as usize, best_true.0,
+        "FlatMips agrees with brute force"
+    );
 }

@@ -21,9 +21,7 @@ fn main() {
     let n = 20_000;
     let mut rng = StdRng::seed_from_u64(3);
 
-    let data: Vec<Vec<f32>> = (0..n)
-        .map(|_| standard_normal_vec(&mut rng, dim))
-        .collect();
+    let data: Vec<Vec<f32>> = (0..n).map(|_| standard_normal_vec(&mut rng, dim)).collect();
     let centroid = vec![0.0f32; dim];
 
     let quantizer = Rabitq::new(dim, RabitqConfig::default());
@@ -88,5 +86,8 @@ fn main() {
         .into_iter()
         .filter(|&i| exact[i] <= radius_sq)
         .collect();
-    println!("  exact answer after re-check          : {} vectors", answer.len());
+    println!(
+        "  exact answer after re-check          : {} vectors",
+        answer.len()
+    );
 }

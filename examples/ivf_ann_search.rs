@@ -8,8 +8,8 @@
 //! ```
 
 use rabitq::core::RabitqConfig;
-use rabitq::data::registry::PaperDataset;
 use rabitq::data::exact_knn;
+use rabitq::data::registry::PaperDataset;
 use rabitq::ivf::{IvfConfig, IvfRabitq};
 use rabitq::metrics::{recall_at_k, Stopwatch};
 use rand::rngs::StdRng;
@@ -22,7 +22,10 @@ fn main() {
 
     // A SIFT-like workload: clustered 128-dim descriptors.
     let ds = PaperDataset::Sift.generate(n, n_queries, 7);
-    println!("dataset: {} ({n} x {}D, {} queries)", ds.name, ds.dim, n_queries);
+    println!(
+        "dataset: {} ({n} x {}D, {} queries)",
+        ds.name, ds.dim, n_queries
+    );
 
     // Exact ground truth for scoring.
     let gt = exact_knn(&ds.data, ds.dim, &ds.queries, k, 1);

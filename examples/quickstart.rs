@@ -18,9 +18,7 @@ fn main() {
 
     // Some data and a centroid to normalize against (Section 3.1.1 of the
     // paper; inside an IVF index this is the bucket centroid).
-    let data: Vec<Vec<f32>> = (0..n)
-        .map(|_| standard_normal_vec(&mut rng, dim))
-        .collect();
+    let data: Vec<Vec<f32>> = (0..n).map(|_| standard_normal_vec(&mut rng, dim)).collect();
     let centroid = vec![0.0f32; dim];
 
     // ---- Index phase (Algorithm 1). ----

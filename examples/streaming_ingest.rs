@@ -49,7 +49,9 @@ fn main() {
     // ---- Persist and reload. ----
     let path = std::env::temp_dir().join("streaming_ingest.rbq");
     index.save(&path).expect("save index");
-    let size_mb = std::fs::metadata(&path).map(|m| m.len() as f64 / 1e6).unwrap_or(0.0);
+    let size_mb = std::fs::metadata(&path)
+        .map(|m| m.len() as f64 / 1e6)
+        .unwrap_or(0.0);
     let restored = IvfRabitq::load(&path).expect("load index");
     std::fs::remove_file(&path).ok();
     println!(

@@ -8,12 +8,15 @@
 //! * [`ivf`] — the IVF index with error-bound-based re-ranking (Section 4).
 //! * [`graph`] — HNSW traversal over RaBitQ codes (the Section 7
 //!   future-work combination, in the style of NGT-QG).
+//! * [`store`] — the WAL-backed segmented collection engine: live ingest,
+//!   tombstone deletes, crash recovery, and compaction over sealed
+//!   IVF-RaBitQ segments.
 //! * [`pq`] / [`aq`] — the PQ, OPQ and LSQ-style baselines.
 //! * [`hnsw`] — the graph baseline.
 //! * [`kmeans`], [`math`], [`data`], [`metrics`] — substrates.
 //!
-//! See `examples/quickstart.rs` for the five-minute tour and `DESIGN.md` for
-//! the full system inventory.
+//! See `examples/quickstart.rs` for the five-minute tour, `README.md` for
+//! the crate map, and `DESIGN.md` for the full system inventory.
 //!
 //! ```
 //! use rabitq::core::RabitqConfig;
@@ -44,3 +47,4 @@ pub use rabitq_kmeans as kmeans;
 pub use rabitq_math as math;
 pub use rabitq_metrics as metrics;
 pub use rabitq_pq as pq;
+pub use rabitq_store as store;

@@ -158,10 +158,7 @@ fn epsilon_zero_and_large_epsilon_bracket_the_default() {
 #[test]
 fn facade_reexports_compose() {
     // The facade's paths must interoperate: math → core → ivf → metrics.
-    let data = rabitq::math::rng::standard_normal_vec(
-        &mut StdRng::seed_from_u64(1),
-        64 * 200,
-    );
+    let data = rabitq::math::rng::standard_normal_vec(&mut StdRng::seed_from_u64(1), 64 * 200);
     let index = IvfRabitq::build(&data, 64, &IvfConfig::new(4), RabitqConfig::default());
     assert_eq!(index.len(), 200);
     assert!(index.normalized_code_entropy() > 0.9);

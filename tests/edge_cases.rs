@@ -60,7 +60,11 @@ fn query_identical_to_centroid_is_handled() {
         let exact = rabitq::math::vecs::l2_sq(&data[i * dim..(i + 1) * dim], &centroid);
         assert!(est.dist_sq.is_finite());
         // With q at the centroid the estimate is exact: dist² = ‖o − c‖².
-        assert!((est.dist_sq - exact).abs() / exact < 1e-3, "{} vs {exact}", est.dist_sq);
+        assert!(
+            (est.dist_sq - exact).abs() / exact < 1e-3,
+            "{} vs {exact}",
+            est.dist_sq
+        );
     }
 }
 
@@ -105,7 +109,12 @@ fn high_dimensional_smoke_near_fastscan_u16_limit() {
 #[test]
 fn nprobe_one_still_returns_results() {
     let ds = PaperDataset::Sift.generate(1_000, 4, 6);
-    let index = IvfRabitq::build(&ds.data, ds.dim, &IvfConfig::new(8), RabitqConfig::default());
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(8),
+        RabitqConfig::default(),
+    );
     let mut rng = StdRng::seed_from_u64(7);
     let res = index.search(ds.query(0), 5, 1, &mut rng);
     assert!(!res.neighbors.is_empty());
@@ -114,7 +123,12 @@ fn nprobe_one_still_returns_results() {
 #[test]
 fn rerank_zero_candidates_strategy_is_safe_on_tiny_buckets() {
     let ds = PaperDataset::Image.generate(60, 3, 8);
-    let index = IvfRabitq::build(&ds.data, ds.dim, &IvfConfig::new(16), RabitqConfig::default());
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(16),
+        RabitqConfig::default(),
+    );
     let mut rng = StdRng::seed_from_u64(9);
     for strategy in [
         RerankStrategy::ErrorBound,

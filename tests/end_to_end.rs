@@ -3,8 +3,8 @@
 //! headline claims end to end.
 
 use rabitq::core::{Rabitq, RabitqConfig};
-use rabitq::data::registry::PaperDataset;
 use rabitq::data::exact_knn;
+use rabitq::data::registry::PaperDataset;
 use rabitq::ivf::{IvfConfig, IvfPq, IvfRabitq, ScanMode};
 use rabitq::math::vecs;
 use rabitq::metrics::{recall_at_k, RelativeErrorStats};
@@ -158,7 +158,10 @@ fn error_bound_coverage_matches_theory_at_scale() {
     }
     let rate = violations as f64 / total as f64;
     assert!(rate < 0.06, "violation rate {rate} too high");
-    assert!(rate > 0.002, "violation rate {rate} suspiciously low — bound may be slack");
+    assert!(
+        rate > 0.002,
+        "violation rate {rate} suspiciously low — bound may be slack"
+    );
 }
 
 #[test]

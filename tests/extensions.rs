@@ -3,7 +3,7 @@
 //! estimation (footnote 8), exercised through the `rabitq` facade the way
 //! a downstream user would.
 
-use rabitq::core::{RabitqConfig, similarity};
+use rabitq::core::{similarity, RabitqConfig};
 use rabitq::data::{exact_knn, generate, DatasetSpec, Profile};
 use rabitq::graph::{GraphRabitq, GraphRabitqConfig};
 use rabitq::ivf::{FlatMips, FlatRabitq};

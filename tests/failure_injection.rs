@@ -15,7 +15,12 @@ fn tmp_path(name: &str) -> std::path::PathBuf {
 
 fn small_ivf_bytes() -> Vec<u8> {
     let ds = PaperDataset::Sift.generate(300, 2, 7);
-    let index = IvfRabitq::build(&ds.data, ds.dim, &IvfConfig::new(4), RabitqConfig::default());
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(4),
+        RabitqConfig::default(),
+    );
     let path = tmp_path("ivf-src");
     index.save(&path).unwrap();
     let bytes = std::fs::read(&path).unwrap();
@@ -43,7 +48,10 @@ fn ivf_truncations_error_cleanly() {
             bytes.len()
         );
     }
-    assert!(load_ivf(&bytes[..bytes.len() - 1]).is_err(), "one byte short");
+    assert!(
+        load_ivf(&bytes[..bytes.len() - 1]).is_err(),
+        "one byte short"
+    );
     assert!(load_ivf(&bytes).is_ok(), "the intact file must still load");
 }
 

