@@ -38,6 +38,14 @@ impl Args {
         Self { values }
     }
 
+    /// A string flag with a default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
     /// A `usize` flag with a default.
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.values

@@ -27,6 +27,12 @@
 //!                           --nprobe 64 --gt gt.ivecs --out results.ivecs
 //! ```
 //!
+//! `collection-search` also exposes the parallel read path:
+//! `--threads N` fans each query's segment scans over `N` workers, and
+//! `--batch` switches to the batch engine (`search_many`), which
+//! distributes whole queries over the workers with per-(query, segment)
+//! seeded RNGs — results are bit-identical for every `--threads` value.
+//!
 //! The library surface (`run`) is process-free so the whole pipeline is
 //! exercised by integration tests.
 
@@ -37,7 +43,7 @@ use rabitq_graph::{GraphRabitq, GraphRabitqConfig, GraphRerank};
 use rabitq_hnsw::HnswConfig;
 use rabitq_ivf::{IvfConfig, IvfRabitq};
 use rabitq_metrics::{recall_at_k, Stopwatch};
-use rabitq_store::{Collection, CollectionConfig};
+use rabitq_store::{Collection, CollectionConfig, ParallelOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -101,7 +107,8 @@ pub fn usage() -> String {
          \x20 ingest             append .fvecs vectors to a collection dir\n\
          \x20 delete             tombstone ids in a collection\n\
          \x20 compact            force-merge all segments, reclaim tombstones\n\
-         \x20 collection-search  query a collection (memtable + segments)\n\
+         \x20 collection-search  query a collection (memtable + segments);\n\
+         \x20                    --threads N / --batch for parallel reads\n\
          \n\
          \x20 help               this text\n\
          see crate docs for per-command flags",
@@ -109,7 +116,7 @@ pub fn usage() -> String {
 }
 
 /// Flags that are switches: present or absent, no value token.
-const BOOLEAN_FLAGS: &[&str] = &["hadamard", "seal"];
+const BOOLEAN_FLAGS: &[&str] = &["hadamard", "seal", "batch"];
 
 /// Parsed `--key value` flags.
 struct Flags {
@@ -531,24 +538,54 @@ fn cmd_collection_search(flags: &Flags) -> Result<(), String> {
     let k = flags.usize_or("k", 100)?;
     let nprobe = flags.usize_or("nprobe", 64)?;
     let seed = flags.u64_or("seed", 1)?;
+    let threads = flags.usize_or("threads", 1)?;
+    let batch = flags.flag_present("batch");
     let nq = queries.len() / qdim;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = ParallelOptions { threads, seed };
     let mut sw = Stopwatch::new();
     let mut all_ids: Vec<i32> = Vec::with_capacity(nq * k);
     let mut per_query_ids: Vec<Vec<u32>> = Vec::with_capacity(nq);
-    for q in queries.chunks_exact(qdim) {
-        sw.start();
-        let res = collection.search(q, k, nprobe, &mut rng);
-        sw.stop();
+    // One place turns a result into the padded id row, so the three
+    // execution modes can never diverge in output format.
+    let mut record = |res: rabitq_ivf::SearchResult| {
         let mut ids: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
         ids.resize(k, u32::MAX);
         all_ids.extend(ids.iter().map(|&id| id as i32));
         per_query_ids.push(ids);
+    };
+    let mode;
+    if batch {
+        // Batch engine: one search_many call over the whole query file,
+        // queries distributed across the worker pool.
+        mode = format!("batch x{threads}");
+        sw.start();
+        let results = collection.search_many(&queries, k, nprobe, opts);
+        sw.stop();
+        results.into_iter().for_each(&mut record);
+    } else if threads > 1 {
+        // Per-query latency mode: segments scanned in parallel.
+        mode = format!("segment-parallel x{threads}");
+        let snapshot = collection.snapshot();
+        for q in queries.chunks_exact(qdim) {
+            sw.start();
+            let res = snapshot.search_parallel(q, k, nprobe, opts);
+            sw.stop();
+            record(res);
+        }
+    } else {
+        mode = "serial".to_string();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for q in queries.chunks_exact(qdim) {
+            sw.start();
+            let res = collection.search(q, k, nprobe, &mut rng);
+            sw.stop();
+            record(res);
+        }
     }
     println!(
         "searched {nq} queries over {} segments + memtable ({} live): \
-         k = {k}, nprobe = {nprobe}, {:.0} QPS",
+         k = {k}, nprobe = {nprobe}, {mode}, {:.0} QPS",
         collection.n_segments(),
         collection.len(),
         sw.per_second(nq as u64)
@@ -909,6 +946,67 @@ mod tests {
             .sum::<usize>();
         assert!(matches >= 44, "only {matches}/50 ids matched ground truth");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn collection_batch_search_is_thread_count_invariant() {
+        let dir = tmp_dir("collection-batch");
+        let data = dir.join("base.fvecs");
+        let queries = dir.join("q.fvecs");
+        let coll = dir.join("coll");
+
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "500",
+            "--queries",
+            "8",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            queries.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ingest",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--memtable",
+            "125",
+            "--seal",
+        ]))
+        .unwrap();
+
+        // Same seed, different worker counts: the batch engine must emit
+        // bit-identical neighbor files.
+        let mut outputs = Vec::new();
+        for threads in ["1", "4"] {
+            let out = dir.join(format!("res-{threads}.ivecs"));
+            run(&args(&[
+                "collection-search",
+                "--dir",
+                coll.to_str().unwrap(),
+                "--queries",
+                queries.to_str().unwrap(),
+                "--k",
+                "10",
+                "--nprobe",
+                "32",
+                "--batch",
+                "--threads",
+                threads,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            outputs.push(io::read_ivecs(&out).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

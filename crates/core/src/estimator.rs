@@ -22,7 +22,10 @@ use crate::query::QuantizedQuery;
 const MIN_IP_OO: f32 = 1e-5;
 
 /// Output of the estimator for one (query, code) pair.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Default` is the all-zero estimate — it exists so batch outputs can be
+/// `resize`d (single touch) before being overwritten in place.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DistanceEstimate {
     /// Unbiased estimate of the squared raw distance `‖o_r − q_r‖²`.
     pub dist_sq: f32,

@@ -108,7 +108,9 @@ impl PackedCodes {
 
     /// Computes `⟨x̄_b, q̄_u⟩` for every code into `out` (resized to `len()`).
     pub fn scan_all(&self, lut: &Lut, out: &mut Vec<u32>) {
-        out.clear();
+        // Single resize, then overwrite: a reused `out` at steady state is
+        // already the right length, so no element is touched twice (the
+        // old clear()+resize() re-zeroed the whole buffer first).
         out.resize(self.n, 0);
         let mut buf = [0u32; BLOCK];
         for b in 0..self.n_blocks() {
@@ -136,25 +138,49 @@ enum LutData {
 }
 
 impl Lut {
+    /// An empty table shell; [`Lut::rebuild`] fills it. Exists so query
+    /// scratch state can own a `Lut` whose storage is reused across probes.
+    pub fn empty() -> Self {
+        Self {
+            segments: 0,
+            data: LutData::U8(Vec::new()),
+        }
+    }
+
     /// Builds the tables from a quantized query: entry `m` of segment `s`
     /// is `Σ_{t: bit t of m set} q̄_u[4s + t]`.
     pub fn build(query: &QuantizedQuery) -> Self {
+        let mut lut = Self::empty();
+        lut.rebuild(query);
+        lut
+    }
+
+    /// [`Lut::build`] into `self`, reusing the table storage. After the
+    /// first call with a given shape and `B_q` class this performs no heap
+    /// allocation; `fill_lut` overwrites every entry, so no clear is
+    /// needed.
+    pub fn rebuild(&mut self, query: &QuantizedQuery) {
         let segments = query.padded_dim() / 4;
         let qu = query.qu();
+        self.segments = segments;
         if query.bq() <= 4 {
-            let mut data = vec![0u8; segments * 16];
+            if !matches!(self.data, LutData::U8(_)) {
+                self.data = LutData::U8(Vec::new());
+            }
+            let LutData::U8(data) = &mut self.data else {
+                unreachable!()
+            };
+            data.resize(segments * 16, 0);
             fill_lut(qu, segments, |idx, v| data[idx] = v as u8);
-            Self {
-                segments,
-                data: LutData::U8(data),
-            }
         } else {
-            let mut data = vec![0u16; segments * 16];
-            fill_lut(qu, segments, |idx, v| data[idx] = v);
-            Self {
-                segments,
-                data: LutData::U16(data),
+            if !matches!(self.data, LutData::U16(_)) {
+                self.data = LutData::U16(Vec::new());
             }
+            let LutData::U16(data) = &mut self.data else {
+                unreachable!()
+            };
+            data.resize(segments * 16, 0);
+            fill_lut(qu, segments, |idx, v| data[idx] = v);
         }
     }
 

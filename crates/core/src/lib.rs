@@ -38,7 +38,7 @@ pub mod similarity;
 pub use code::{CodeFactors, CodeSet};
 pub use estimator::DistanceEstimate;
 pub use fastscan::{Lut, PackedCodes};
-pub use quantizer::{Rabitq, RabitqConfig};
+pub use quantizer::{QueryScratch, Rabitq, RabitqConfig};
 pub use query::QuantizedQuery;
 pub use rotation::{default_padded_dim, Rotator, RotatorKind};
 pub use similarity::{CosineEstimate, IpEstimate, IpQueryTerms};

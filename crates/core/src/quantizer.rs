@@ -109,6 +109,14 @@ impl Rabitq {
         self.rotator.rotate_vec(v)
     }
 
+    /// [`Rabitq::rotate`] into a reused buffer (resized to `padded_dim`).
+    /// Every element of `out` is overwritten, so at steady state the call
+    /// performs no heap allocation.
+    pub fn rotate_into(&self, v: &[f32], out: &mut Vec<f32>) {
+        out.resize(self.padded_dim(), 0.0);
+        self.rotator.rotate(v, out);
+    }
+
     /// Creates an empty [`CodeSet`] compatible with this quantizer.
     pub fn new_code_set(&self) -> CodeSet {
         CodeSet::new(self.padded_dim())
@@ -208,6 +216,30 @@ impl Rabitq {
         QuantizedQuery::from_rotated_residual(&residual, self.config.bq, rng)
     }
 
+    /// [`Rabitq::prepare_query_prerotated`] into reusable scratch state:
+    /// the residual buffer, the quantized query, and the fast-scan LUT all
+    /// live in `scratch` and are overwritten in place. After the scratch
+    /// warms up (one call per shape), the per-probe cost is **zero heap
+    /// allocations** — this is what lets the IVF search loop probe
+    /// thousands of buckets without touching the allocator.
+    pub fn prepare_query_prerotated_into<R: Rng + ?Sized>(
+        &self,
+        rotated_query: &[f32],
+        rotated_centroid: &[f32],
+        scratch: &mut QueryScratch,
+        rng: &mut R,
+    ) {
+        let padded = self.padded_dim();
+        assert_eq!(rotated_query.len(), padded, "rotated query length");
+        assert_eq!(rotated_centroid.len(), padded, "rotated centroid length");
+        scratch.residual.resize(padded, 0.0);
+        vecs::sub(rotated_query, rotated_centroid, &mut scratch.residual);
+        scratch
+            .query
+            .quantize_from_rotated_residual(&scratch.residual, self.config.bq, rng);
+        scratch.lut.rebuild(&scratch.query);
+    }
+
     /// Estimates the squared distance between the (raw) query behind
     /// `query` and the vector behind code `i`, via the single-code bitwise
     /// kernel (Algorithm 2, lines 3–5).
@@ -302,27 +334,80 @@ impl Rabitq {
         epsilon0: f32,
         out: &mut Vec<DistanceEstimate>,
     ) {
-        debug_assert_eq!(packed.len(), set.len());
         let lut = Lut::build(query);
-        out.clear();
-        out.reserve(set.len());
+        self.estimate_batch_with_lut(query, &lut, packed, set, epsilon0, out);
+    }
+
+    /// [`Rabitq::estimate_batch_with_epsilon`] against a caller-provided
+    /// LUT (normally [`QueryScratch::lut`], built once per probe by
+    /// [`Rabitq::prepare_query_prerotated_into`]). `out` is sized with a
+    /// single `resize` and then overwritten in place, so a reused buffer
+    /// at steady state is written exactly once per element and the call
+    /// performs no heap allocation.
+    pub fn estimate_batch_with_lut(
+        &self,
+        query: &QuantizedQuery,
+        lut: &Lut,
+        packed: &PackedCodes,
+        set: &CodeSet,
+        epsilon0: f32,
+        out: &mut Vec<DistanceEstimate>,
+    ) {
+        debug_assert_eq!(packed.len(), set.len());
+        out.resize(set.len(), DistanceEstimate::default());
         let mut buf = [0u32; BLOCK];
         let padded = self.padded_dim();
-        let eps = epsilon0;
         for b in 0..packed.n_blocks() {
-            packed.scan_block(b, &lut, &mut buf);
+            packed.scan_block(b, lut, &mut buf);
             let start = b * BLOCK;
             let take = BLOCK.min(set.len() - start);
             for (off, &ip_bin) in buf[..take].iter().enumerate() {
-                out.push(estimator::estimate(
-                    ip_bin,
-                    set.factors(start + off),
-                    query,
-                    padded,
-                    eps,
-                ));
+                out[start + off] =
+                    estimator::estimate(ip_bin, set.factors(start + off), query, padded, epsilon0);
             }
         }
+    }
+}
+
+/// Reusable query-preparation state for the IVF fast path: the rotated
+/// residual buffer, the quantized query, and its fast-scan LUT.
+///
+/// One scratch serves one search thread; [`Rabitq::prepare_query_prerotated_into`]
+/// overwrites it per probed bucket without allocating (after the first,
+/// shape-establishing call). This is the core half of the engine-level
+/// `SearchScratch` in `rabitq-ivf`.
+pub struct QueryScratch {
+    pub(crate) residual: Vec<f32>,
+    pub(crate) query: QuantizedQuery,
+    pub(crate) lut: Lut,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            residual: Vec::new(),
+            query: QuantizedQuery::empty(),
+            lut: Lut::empty(),
+        }
+    }
+
+    /// The most recently prepared quantized query.
+    #[inline]
+    pub fn query(&self) -> &QuantizedQuery {
+        &self.query
+    }
+
+    /// The LUT built for the most recently prepared query.
+    #[inline]
+    pub fn lut(&self) -> &Lut {
+        &self.lut
+    }
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -355,6 +440,51 @@ mod tests {
         for i in 0..70 {
             let single = q.estimate(&prepared, &codes, i);
             assert_eq!(single, batch[i], "code {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_query_path_matches_allocating_path_bit_for_bit() {
+        // Same RNG stream + same residual ⇒ the scratch-based prepare and
+        // LUT must reproduce the allocating path exactly, across repeated
+        // reuse against different centroids.
+        let dim = 96;
+        let q = Rabitq::new(dim, RabitqConfig::default());
+        let data = make_data(40, dim, 15);
+        let centroids: Vec<Vec<f32>> = (0..3)
+            .map(|c| (0..dim).map(|i| ((i + c) as f32 * 0.05).cos()).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(16);
+        let query_vec = standard_normal_vec(&mut rng, dim);
+        let rotated_query = q.rotate(&query_vec);
+        let mut scratch = QueryScratch::new();
+        for centroid in &centroids {
+            let codes = q.encode_set(data.iter().map(|v| v.as_slice()), centroid);
+            let packed = q.pack(&codes);
+            let rotated_centroid = q.rotate(centroid);
+            let mut rng_a = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let prepared =
+                q.prepare_query_prerotated(&rotated_query, &rotated_centroid, &mut rng_a);
+            q.prepare_query_prerotated_into(
+                &rotated_query,
+                &rotated_centroid,
+                &mut scratch,
+                &mut rng_b,
+            );
+            assert_eq!(scratch.query().qu(), prepared.qu());
+            let mut batch_a = Vec::new();
+            q.estimate_batch(&prepared, &packed, &codes, &mut batch_a);
+            let mut batch_b = Vec::new();
+            q.estimate_batch_with_lut(
+                scratch.query(),
+                scratch.lut(),
+                &packed,
+                &codes,
+                q.config().epsilon0,
+                &mut batch_b,
+            );
+            assert_eq!(batch_a, batch_b);
         }
     }
 

@@ -39,6 +39,24 @@ pub struct QuantizedQuery {
 }
 
 impl QuantizedQuery {
+    /// An empty shell whose buffers are filled by
+    /// [`QuantizedQuery::quantize_from_rotated_residual`] — the anchor of
+    /// the allocation-free scratch path. Every accessor is valid (all
+    /// buffers empty / zero) but the shell estimates nothing useful until
+    /// it is quantized.
+    pub fn empty() -> Self {
+        Self {
+            padded_dim: 0,
+            bq: 1,
+            qu: Vec::new(),
+            bitplanes: Vec::new(),
+            delta: 0.0,
+            v_l: 0.0,
+            sum_qu: 0,
+            q_dist: 0.0,
+        }
+    }
+
     /// Quantizes a rotated query residual `P⁻¹(q_r − c)` (unnormalized;
     /// rotation preserves the norm, so `‖q_r − c‖` is recovered here).
     ///
@@ -46,6 +64,24 @@ impl QuantizedQuery {
     /// Panics unless `rotated.len()` is a positive multiple of 64 and
     /// `1 ≤ bq ≤ 8`.
     pub fn from_rotated_residual<R: Rng + ?Sized>(rotated: &[f32], bq: u8, rng: &mut R) -> Self {
+        let mut q = Self::empty();
+        q.quantize_from_rotated_residual(rotated, bq, rng);
+        q
+    }
+
+    /// [`QuantizedQuery::from_rotated_residual`] into `self`, reusing the
+    /// entry and bit-plane buffers. After the first call with a given
+    /// shape this performs **no heap allocation** — the IVF hot path calls
+    /// it once per probed bucket on one scratch query.
+    ///
+    /// # Panics
+    /// Same contract as [`QuantizedQuery::from_rotated_residual`].
+    pub fn quantize_from_rotated_residual<R: Rng + ?Sized>(
+        &mut self,
+        rotated: &[f32],
+        bq: u8,
+        rng: &mut R,
+    ) {
         let padded_dim = rotated.len();
         assert!(
             padded_dim > 0 && padded_dim.is_multiple_of(64),
@@ -57,8 +93,10 @@ impl QuantizedQuery {
         let words = padded_dim / 64;
         let levels = (1u32 << bq) - 1;
 
-        let mut qu = vec![0u8; padded_dim];
+        self.qu.resize(padded_dim, 0);
+        let qu = &mut self.qu[..];
         let (mut v_l, mut delta) = (0.0f32, 0.0f32);
+        let mut wrote_entries = false;
         if q_dist > f32::EPSILON {
             let inv_norm = 1.0 / q_dist;
             // Normalized entries; computed on the fly to avoid an extra
@@ -74,33 +112,34 @@ impl QuantizedQuery {
                     let pos = (v - v_l) * inv_delta + rng.gen_range(0.0f32..1.0);
                     *slot = (pos as u32).min(levels) as u8;
                 }
+                wrote_entries = true;
             }
             // delta == 0 (all entries equal): every q̄_u stays 0 and the
             // estimator's v_l term carries the whole value.
         }
+        if !wrote_entries {
+            qu.fill(0);
+        }
 
         let sum_qu: u32 = qu.iter().map(|&v| v as u32).sum();
-        let mut bitplanes = vec![0u64; bq as usize * words];
+        self.bitplanes.resize(bq as usize * words, 0);
+        self.bitplanes.fill(0);
         for (d, &v) in qu.iter().enumerate() {
             let word = d / 64;
             let bit = d % 64;
             for j in 0..bq as usize {
                 if (v >> j) & 1 == 1 {
-                    bitplanes[j * words + word] |= 1u64 << bit;
+                    self.bitplanes[j * words + word] |= 1u64 << bit;
                 }
             }
         }
 
-        Self {
-            padded_dim,
-            bq,
-            qu,
-            bitplanes,
-            delta,
-            v_l,
-            sum_qu,
-            q_dist,
-        }
+        self.padded_dim = padded_dim;
+        self.bq = bq;
+        self.delta = delta;
+        self.v_l = v_l;
+        self.sum_qu = sum_qu;
+        self.q_dist = q_dist;
     }
 
     /// Code length `B` this query was quantized for.
@@ -255,6 +294,30 @@ mod tests {
         let expected = 1.0 / (64.0f32).sqrt(); // normalized constant entry
         assert!((q.v_l - expected).abs() < 1e-5);
         assert_eq!(q.sum_qu, 0);
+    }
+
+    #[test]
+    fn reused_shell_matches_fresh_quantization_bit_for_bit() {
+        // The scratch path must be indistinguishable from the allocating
+        // one, including across shape changes (shrinking then growing).
+        let mut shell = QuantizedQuery::empty();
+        for (dim, bq, seed) in [(256usize, 4u8, 21u64), (64, 3, 22), (192, 6, 23)] {
+            let residual = sample_residual(dim, seed);
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0xAB);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0xAB);
+            let fresh = QuantizedQuery::from_rotated_residual(&residual, bq, &mut rng_a);
+            shell.quantize_from_rotated_residual(&residual, bq, &mut rng_b);
+            assert_eq!(shell.qu(), fresh.qu(), "dim={dim} bq={bq}");
+            assert_eq!(shell.padded_dim(), fresh.padded_dim());
+            assert_eq!(shell.bq(), fresh.bq());
+            assert_eq!(shell.delta, fresh.delta);
+            assert_eq!(shell.v_l, fresh.v_l);
+            assert_eq!(shell.sum_qu, fresh.sum_qu);
+            assert_eq!(shell.q_dist, fresh.q_dist);
+            for j in 0..bq as usize {
+                assert_eq!(shell.bitplane(j), fresh.bitplane(j), "plane {j}");
+            }
+        }
     }
 
     #[test]

@@ -149,6 +149,30 @@ impl TopK {
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
+
+    /// Re-arms the tracker for a new query with bound `k`, keeping the
+    /// heap's storage. After the first query at a given `k` this performs
+    /// no heap allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        self.heap.reserve(k + 1);
+    }
+
+    /// [`TopK::into_sorted`] into a reused output buffer, leaving the
+    /// tracker empty but with its storage intact (ready for
+    /// [`TopK::reset`]). Ordering is identical to `into_sorted`:
+    /// ascending by distance, ties by id.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, f32)>) {
+        out.clear();
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        out.extend(entries.iter().map(|&HeapEntry(d, id)| (id, d)));
+        // Hand the (now cleared) storage back to the heap: `from` on an
+        // empty vec is a free heapify, so the allocation survives.
+        entries.clear();
+        self.heap = BinaryHeap::from(entries);
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +210,28 @@ mod tests {
         let got = t.into_sorted();
         assert_eq!(got.len(), 2);
         assert!(got.iter().all(|&(_, d)| d == 1.0));
+    }
+
+    #[test]
+    fn drain_matches_into_sorted_and_reuses_storage() {
+        let entries = [(0u32, 5.0f32), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)];
+        let mut a = TopK::new(3);
+        let mut b = TopK::new(3);
+        for &(id, d) in &entries {
+            a.push(id, d);
+            b.push(id, d);
+        }
+        let want = a.into_sorted();
+        let mut got = Vec::new();
+        b.drain_sorted_into(&mut got);
+        assert_eq!(got, want);
+        // Reset re-arms the same tracker for a fresh query.
+        b.reset(2);
+        assert_eq!(b.threshold(), f32::INFINITY);
+        b.push(9, 0.5);
+        b.push(8, 0.25);
+        b.drain_sorted_into(&mut got);
+        assert_eq!(got, vec![(8, 0.25), (9, 0.5)]);
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! re-ranking with near-certainty — no tuning parameter exists.
 
 use crate::common::{IvfConfig, RerankStrategy, SearchResult, TopK};
-use rabitq_core::{CodeSet, PackedCodes, Rabitq, RabitqConfig};
+use rabitq_core::{CodeSet, DistanceEstimate, PackedCodes, QueryScratch, Rabitq, RabitqConfig};
 use rabitq_kmeans::{train as kmeans_train, KMeans, KMeansConfig};
 use rabitq_math::vecs;
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One IVF bucket: original vector ids plus their RaBitQ codes.
 struct Bucket {
@@ -39,9 +40,61 @@ pub struct IvfRabitq {
     /// Tombstone bitmap, one bit per id. Deleted ids stay encoded in their
     /// buckets (so the fast-scan pack is untouched) but are skipped by every
     /// search path; compaction (in `rabitq-store`) reclaims the space.
-    deleted: Vec<u64>,
+    ///
+    /// The words are atomic so [`IvfRabitq::remove`] takes `&self`: a
+    /// sealed segment shared behind an `Arc` can tombstone rows while
+    /// concurrent readers search it. Setting a bit is monotonic, so a racy
+    /// read just sees the state a moment earlier or later — both valid.
+    deleted: Vec<AtomicU64>,
     /// Number of set bits in `deleted`.
-    n_deleted: usize,
+    n_deleted: AtomicUsize,
+}
+
+/// Reusable per-thread buffers for [`IvfRabitq::search_into`]: every heap
+/// allocation the query path would otherwise make per call (or worse, per
+/// probed bucket) lives here and is overwritten in place. One scratch
+/// serves one search thread; at steady state (after the buffers have grown
+/// to the workload's shape) a search performs **zero heap allocations**.
+pub struct SearchScratch {
+    /// `P⁻¹·q`, computed once per query.
+    rotated_query: Vec<f32>,
+    /// Per-probe residual + quantized query + LUT (see
+    /// [`rabitq_core::QueryScratch`]).
+    query: QueryScratch,
+    /// The `nprobe` nearest coarse centroids.
+    probes: Vec<(usize, f32)>,
+    /// Per-bucket batch estimates.
+    estimates: Vec<DistanceEstimate>,
+    /// Candidate pool for [`RerankStrategy::TopCandidates`].
+    pool: Vec<(u32, f32)>,
+    /// Bounded top-K tracker (heap storage reused across queries).
+    top: TopK,
+    /// Neighbors of the most recent [`IvfRabitq::search_into`] call:
+    /// `(id, squared distance)` ascending, same contract as
+    /// [`SearchResult::neighbors`]. Public so engine layers (e.g. segment
+    /// id remapping in `rabitq-store`) can rewrite ids in place.
+    pub neighbors: Vec<(u32, f32)>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            rotated_query: Vec::new(),
+            query: QueryScratch::new(),
+            probes: Vec::new(),
+            estimates: Vec::new(),
+            pool: Vec::new(),
+            top: TopK::new(0),
+            neighbors: Vec::new(),
+        }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IvfRabitq {
@@ -135,8 +188,8 @@ impl IvfRabitq {
             rotated_centroids,
             buckets,
             data: data.to_vec(),
-            deleted: vec![0u64; n.div_ceil(64)],
-            n_deleted: 0,
+            deleted: (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            n_deleted: AtomicUsize::new(0),
         }
     }
 
@@ -154,13 +207,13 @@ impl IvfRabitq {
     /// Number of live (non-tombstoned) vectors.
     #[inline]
     pub fn n_live(&self) -> usize {
-        self.len() - self.n_deleted
+        self.len() - self.n_deleted()
     }
 
     /// Number of tombstoned vectors.
     #[inline]
     pub fn n_deleted(&self) -> usize {
-        self.n_deleted
+        self.n_deleted.load(Ordering::Relaxed)
     }
 
     /// Whether `id` is tombstoned. Ids past the end count as deleted so
@@ -171,7 +224,7 @@ impl IvfRabitq {
         if idx >= self.len() {
             return true;
         }
-        self.deleted[idx / 64] >> (idx % 64) & 1 == 1
+        self.deleted[idx / 64].load(Ordering::Relaxed) >> (idx % 64) & 1 == 1
     }
 
     /// Tombstones one vector. Its code stays in place (the fast-scan pack
@@ -179,13 +232,21 @@ impl IvfRabitq {
     /// is reclaimed when the index is rebuilt (e.g. by `rabitq-store`
     /// compaction). Returns `false` if the id is out of range or already
     /// tombstoned.
-    pub fn remove(&mut self, id: u32) -> bool {
+    ///
+    /// Takes `&self`: the bitmap is atomic, so an index shared behind an
+    /// `Arc` (a sealed `rabitq-store` segment) can be tombstoned while
+    /// other threads search it.
+    pub fn remove(&self, id: u32) -> bool {
         let idx = id as usize;
-        if idx >= self.len() || self.is_deleted(id) {
+        if idx >= self.len() {
             return false;
         }
-        self.deleted[idx / 64] |= 1u64 << (idx % 64);
-        self.n_deleted += 1;
+        let mask = 1u64 << (idx % 64);
+        let prev = self.deleted[idx / 64].fetch_or(mask, Ordering::Relaxed);
+        if prev & mask != 0 {
+            return false; // already tombstoned (possibly by a racing caller)
+        }
+        self.n_deleted.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -227,6 +288,12 @@ impl IvfRabitq {
 
     /// Searches with an explicit re-ranking strategy (used by the Figure 10
     /// ablation and the baseline comparisons).
+    ///
+    /// Thin wrapper over [`IvfRabitq::search_into`] with a throwaway
+    /// [`SearchScratch`] — one scratch allocation per call instead of the
+    /// historical per-probed-bucket allocations. Serving layers that care
+    /// about the allocator (e.g. `rabitq-store`) hold a scratch per thread
+    /// and call `search_into` directly.
     pub fn search_with<R: Rng + ?Sized>(
         &self,
         query: &[f32],
@@ -235,15 +302,43 @@ impl IvfRabitq {
         strategy: RerankStrategy,
         rng: &mut R,
     ) -> SearchResult {
+        let mut scratch = SearchScratch::new();
+        let (n_estimated, n_reranked) =
+            self.search_into(query, k, nprobe, strategy, &mut scratch, rng);
+        SearchResult {
+            neighbors: std::mem::take(&mut scratch.neighbors),
+            n_estimated,
+            n_reranked,
+        }
+    }
+
+    /// The allocation-free search core. Results land in
+    /// [`SearchScratch::neighbors`] (`(id, squared distance)` ascending —
+    /// the [`SearchResult`] contract); the return value is
+    /// `(n_estimated, n_reranked)`. Once `scratch` has warmed up (its
+    /// buffers reached the workload's shape), the steady-state query path
+    /// performs **zero heap allocations** — verified by the
+    /// counting-allocator test in `tests/alloc_free.rs`.
+    pub fn search_into<R: Rng + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        strategy: RerankStrategy,
+        scratch: &mut SearchScratch,
+        rng: &mut R,
+    ) -> (usize, usize) {
         assert_eq!(query.len(), self.dim, "query dimensionality");
+        scratch.neighbors.clear();
         if self.is_empty() || k == 0 {
-            return SearchResult::default();
+            return (0, 0);
         }
         let padded = self.quantizer.padded_dim();
-        let rotated_query = self.quantizer.rotate(query);
-        let probes = self.coarse.assign_top_n(query, nprobe.max(1));
+        self.quantizer
+            .rotate_into(query, &mut scratch.rotated_query);
+        self.coarse
+            .assign_top_n_into(query, nprobe.max(1), &mut scratch.probes);
 
-        let mut estimates = Vec::new();
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
 
@@ -253,117 +348,125 @@ impl IvfRabitq {
                     RerankStrategy::ErrorBoundWithEpsilon(e) => e,
                     _ => self.quantizer.config().epsilon0,
                 };
-                let mut top = TopK::new(k);
-                for &(c, _) in &probes {
+                scratch.top.reset(k);
+                for pi in 0..scratch.probes.len() {
+                    let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared = self
-                        .quantizer
-                        .prepare_query_prerotated(&rotated_query, rc, rng);
-                    self.quantizer.estimate_batch_with_epsilon(
-                        &prepared,
+                    self.quantizer.prepare_query_prerotated_into(
+                        &scratch.rotated_query,
+                        rc,
+                        &mut scratch.query,
+                        rng,
+                    );
+                    self.quantizer.estimate_batch_with_lut(
+                        scratch.query.query(),
+                        scratch.query.lut(),
                         &bucket.packed,
                         &bucket.codes,
                         epsilon0,
-                        &mut estimates,
+                        &mut scratch.estimates,
                     );
-                    n_estimated += estimates.len();
-                    for (est, &id) in estimates.iter().zip(bucket.ids.iter()) {
+                    n_estimated += scratch.estimates.len();
+                    for (est, &id) in scratch.estimates.iter().zip(bucket.ids.iter()) {
                         if self.is_deleted(id) {
                             continue;
                         }
                         // The paper's rule: drop iff lower bound exceeds the
                         // current K-th best exact distance.
-                        if est.lower_bound < top.threshold() {
+                        if est.lower_bound < scratch.top.threshold() {
                             let exact = self.exact_distance(id, query);
                             n_reranked += 1;
-                            top.push(id, exact);
+                            scratch.top.push(id, exact);
                         }
                     }
                 }
-                SearchResult {
-                    neighbors: top.into_sorted(),
-                    n_estimated,
-                    n_reranked,
-                }
             }
             RerankStrategy::TopCandidates(rerank_n) => {
-                let mut pool: Vec<(u32, f32)> = Vec::new();
-                for &(c, _) in &probes {
+                scratch.pool.clear();
+                for pi in 0..scratch.probes.len() {
+                    let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared = self
-                        .quantizer
-                        .prepare_query_prerotated(&rotated_query, rc, rng);
-                    self.quantizer.estimate_batch(
-                        &prepared,
+                    self.quantizer.prepare_query_prerotated_into(
+                        &scratch.rotated_query,
+                        rc,
+                        &mut scratch.query,
+                        rng,
+                    );
+                    self.quantizer.estimate_batch_with_lut(
+                        scratch.query.query(),
+                        scratch.query.lut(),
                         &bucket.packed,
                         &bucket.codes,
-                        &mut estimates,
+                        self.quantizer.config().epsilon0,
+                        &mut scratch.estimates,
                     );
-                    n_estimated += estimates.len();
-                    pool.extend(
-                        estimates
+                    n_estimated += scratch.estimates.len();
+                    scratch.pool.extend(
+                        scratch
+                            .estimates
                             .iter()
                             .zip(bucket.ids.iter())
                             .filter(|&(_, &id)| !self.is_deleted(id))
                             .map(|(est, &id)| (id, est.dist_sq)),
                     );
                 }
-                let take = rerank_n.max(k).min(pool.len());
+                let take = rerank_n.max(k).min(scratch.pool.len());
                 if take > 0 {
-                    pool.select_nth_unstable_by(take - 1, |a, b| a.1.total_cmp(&b.1));
-                    pool.truncate(take);
+                    scratch
+                        .pool
+                        .select_nth_unstable_by(take - 1, |a, b| a.1.total_cmp(&b.1));
+                    scratch.pool.truncate(take);
                 }
-                let mut top = TopK::new(k);
-                for &(id, _) in &pool {
+                scratch.top.reset(k);
+                for pi in 0..scratch.pool.len() {
+                    let id = scratch.pool[pi].0;
                     let exact = self.exact_distance(id, query);
                     n_reranked += 1;
-                    top.push(id, exact);
-                }
-                SearchResult {
-                    neighbors: top.into_sorted(),
-                    n_estimated,
-                    n_reranked,
+                    scratch.top.push(id, exact);
                 }
             }
             RerankStrategy::None => {
-                let mut top = TopK::new(k);
-                for &(c, _) in &probes {
+                scratch.top.reset(k);
+                for pi in 0..scratch.probes.len() {
+                    let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
                         continue;
                     }
                     let rc = &self.rotated_centroids[c * padded..(c + 1) * padded];
-                    let prepared = self
-                        .quantizer
-                        .prepare_query_prerotated(&rotated_query, rc, rng);
-                    self.quantizer.estimate_batch(
-                        &prepared,
+                    self.quantizer.prepare_query_prerotated_into(
+                        &scratch.rotated_query,
+                        rc,
+                        &mut scratch.query,
+                        rng,
+                    );
+                    self.quantizer.estimate_batch_with_lut(
+                        scratch.query.query(),
+                        scratch.query.lut(),
                         &bucket.packed,
                         &bucket.codes,
-                        &mut estimates,
+                        self.quantizer.config().epsilon0,
+                        &mut scratch.estimates,
                     );
-                    n_estimated += estimates.len();
-                    for (est, &id) in estimates.iter().zip(bucket.ids.iter()) {
+                    n_estimated += scratch.estimates.len();
+                    for (est, &id) in scratch.estimates.iter().zip(bucket.ids.iter()) {
                         if !self.is_deleted(id) {
-                            top.push(id, est.dist_sq);
+                            scratch.top.push(id, est.dist_sq);
                         }
                     }
                 }
-                SearchResult {
-                    neighbors: top.into_sorted(),
-                    n_estimated,
-                    n_reranked,
-                }
             }
         }
+        scratch.top.drain_sorted_into(&mut scratch.neighbors);
+        (n_estimated, n_reranked)
     }
 
     #[inline]
@@ -389,7 +492,7 @@ impl IvfRabitq {
         bucket.packed = self.quantizer.pack(&bucket.codes);
         let words = self.len().div_ceil(64);
         if self.deleted.len() < words {
-            self.deleted.resize(words, 0);
+            self.deleted.resize_with(words, || AtomicU64::new(0));
         }
         id
     }
@@ -424,7 +527,12 @@ impl IvfRabitq {
             bucket.codes.write(w)?;
         }
         p::write_f32_slice(w, &self.data)?;
-        p::write_u64_slice(w, &self.deleted)?;
+        let deleted: Vec<u64> = self
+            .deleted
+            .iter()
+            .map(|word| word.load(Ordering::Relaxed))
+            .collect();
+        p::write_u64_slice(w, &deleted)?;
         Ok(())
     }
 
@@ -500,8 +608,8 @@ impl IvfRabitq {
             rotated_centroids,
             buckets,
             data,
-            deleted,
-            n_deleted,
+            deleted: deleted.into_iter().map(AtomicU64::new).collect(),
+            n_deleted: AtomicUsize::new(n_deleted),
         })
     }
 
@@ -749,7 +857,7 @@ mod tests {
     #[test]
     fn tombstones_survive_save_and_load() {
         let ds = dataset(300, 16);
-        let mut index = build(&ds, 4);
+        let index = build(&ds, 4);
         for id in [3u32, 77, 140, 299] {
             assert!(index.remove(id));
         }
@@ -766,6 +874,55 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let res = loaded.search(ds.vector(77), 5, 4, &mut rng);
         assert!(res.neighbors.iter().all(|&(id, _)| id != 77));
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_search_bit_for_bit() {
+        // One scratch reused across queries and strategies must reproduce
+        // the allocating wrapper exactly (same RNG streams).
+        let ds = dataset(1500, 32);
+        let index = build(&ds, 10);
+        let mut scratch = SearchScratch::new();
+        for strategy in [
+            RerankStrategy::ErrorBound,
+            RerankStrategy::TopCandidates(200),
+            RerankStrategy::None,
+        ] {
+            for qi in 0..ds.n_queries() {
+                let seed = 1000 + qi as u64;
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let fresh = index.search_with(ds.query(qi), 5, 6, strategy, &mut rng_a);
+                let (e, r) =
+                    index.search_into(ds.query(qi), 5, 6, strategy, &mut scratch, &mut rng_b);
+                assert_eq!(
+                    scratch.neighbors, fresh.neighbors,
+                    "{strategy:?} query {qi}"
+                );
+                assert_eq!(e, fresh.n_estimated);
+                assert_eq!(r, fresh.n_reranked);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_through_shared_reference_is_thread_safe() {
+        // The atomic tombstone bitmap lets `remove` take &self; racing
+        // removers must tombstone every id exactly once in total.
+        let ds = dataset(512, 16);
+        let index = build(&ds, 4);
+        let hits: usize = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let index = &index;
+                handles
+                    .push(scope.spawn(move || (0..512u32).filter(|&id| index.remove(id)).count()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(hits, 512, "every id removed exactly once across threads");
+        assert_eq!(index.n_deleted(), 512);
+        assert_eq!(index.n_live(), 0);
     }
 
     #[test]

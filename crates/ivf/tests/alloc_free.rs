@@ -1,0 +1,107 @@
+//! Counting-allocator proof of the allocation-free query path.
+//!
+//! The acceptance contract for the scratch-based search
+//! ([`IvfRabitq::search_into`]) is that the **steady-state** query path —
+//! after one warm-up pass has grown every scratch buffer to the workload's
+//! shape — performs zero heap allocations. A `#[global_allocator]` wrapper
+//! counts every `alloc`/`realloc` while a flag is armed; the test warms the
+//! scratch, arms the counter, replays the same queries, and asserts the
+//! count stayed at zero.
+//!
+//! This file holds exactly one test: the counter is process-global, so a
+//! concurrently running test could allocate on another thread and produce a
+//! false positive.
+
+use rabitq_core::RabitqConfig;
+use rabitq_data::{generate, DatasetSpec, Profile};
+use rabitq_ivf::{IvfConfig, IvfRabitq, RerankStrategy, SearchScratch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_search_makes_zero_heap_allocations() {
+    let ds = generate(&DatasetSpec {
+        name: "alloc-free".into(),
+        dim: 48,
+        n: 3000,
+        n_queries: 8,
+        profile: Profile::Clustered {
+            clusters: 10,
+            cluster_std: 0.8,
+            center_scale: 3.0,
+        },
+        seed: 5,
+    });
+    let index = IvfRabitq::build(
+        &ds.data,
+        ds.dim,
+        &IvfConfig::new(12),
+        RabitqConfig::default(),
+    );
+    let mut scratch = SearchScratch::new();
+    let strategies = [
+        RerankStrategy::ErrorBound,
+        RerankStrategy::TopCandidates(300),
+        RerankStrategy::None,
+    ];
+
+    // Warm-up: identical queries, strategies, and parameters as the
+    // measured pass, so every scratch buffer reaches its final capacity.
+    let mut rng = StdRng::seed_from_u64(77);
+    for &strategy in &strategies {
+        for qi in 0..ds.n_queries() {
+            index.search_into(ds.query(qi), 10, 8, strategy, &mut scratch, &mut rng);
+        }
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let mut total_neighbors = 0usize;
+    for &strategy in &strategies {
+        for qi in 0..ds.n_queries() {
+            index.search_into(ds.query(qi), 10, 8, strategy, &mut scratch, &mut rng);
+            total_neighbors += scratch.neighbors.len();
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(total_neighbors > 0, "searches must return results");
+    assert_eq!(
+        allocs,
+        0,
+        "steady-state search_into allocated {allocs} times across \
+         {} queries",
+        3 * ds.n_queries()
+    );
+}

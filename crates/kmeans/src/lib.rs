@@ -126,14 +126,22 @@ impl KMeans {
     ///
     /// Used by IVF to pick the `nprobe` buckets for a query.
     pub fn assign_top_n(&self, x: &[f32], n: usize) -> Vec<(usize, f32)> {
-        let mut dists: Vec<(usize, f32)> = (0..self.k)
-            .map(|c| (c, vecs::l2_sq(self.centroid(c), x)))
-            .collect();
-        let n = n.min(self.k);
-        dists.select_nth_unstable_by(n - 1, |a, b| a.1.total_cmp(&b.1));
-        dists.truncate(n);
-        dists.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        let mut dists = Vec::new();
+        self.assign_top_n_into(x, n, &mut dists);
         dists
+    }
+
+    /// [`KMeans::assign_top_n`] into a reused buffer (`n ≥ 1`). At steady
+    /// state — a buffer whose capacity has reached `k` — the call performs
+    /// no heap allocation; this is the probe-selection step of the
+    /// allocation-free IVF query path.
+    pub fn assign_top_n_into(&self, x: &[f32], n: usize, out: &mut Vec<(usize, f32)>) {
+        out.clear();
+        out.extend((0..self.k).map(|c| (c, vecs::l2_sq(self.centroid(c), x))));
+        let n = n.min(self.k);
+        out.select_nth_unstable_by(n - 1, |a, b| a.1.total_cmp(&b.1));
+        out.truncate(n);
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
     }
 
     /// Assigns every row of `data` (flat `n × dim`) to its nearest centroid,

@@ -74,7 +74,8 @@ impl PqPacked {
     /// squared distance per code.
     pub fn scan_all(&self, luts: &QuantizedLuts, out: &mut Vec<f32>) {
         assert_eq!(luts.m, self.m, "LUTs built for another quantizer");
-        out.clear();
+        // Single resize, then overwrite in place — a reused `out` is not
+        // re-zeroed first (mirrors `rabitq_core::PackedCodes::scan_all`).
         out.resize(self.n, 0.0);
         let mut buf = [0u32; BLOCK];
         for b in 0..self.n_blocks() {

@@ -20,22 +20,35 @@
 //! * torn final WAL record → dropped and truncated by [`crate::Wal`].
 //!
 //! ## Read path
-//! A query fans out to the memtable (exact scan) and every segment (the
-//! paper's error-bound re-ranked search), and the per-source candidates —
-//! all carrying **exact** distances — k-way-merge through the same
-//! [`TopK`] used inside the IVF index. The result is contract-identical
-//! to [`IvfRabitq::search`]: exact squared distances, ascending.
+//! Every mutation publishes an immutable [`Snapshot`] — (frozen memtable
+//! view, `Arc`'d segment list) — into a shared slot. A query loads the
+//! current snapshot (an `Arc` clone) and fans out to the memtable view
+//! (exact scan) and every segment (the paper's error-bound re-ranked
+//! search); the per-source candidates — all carrying **exact** distances
+//! — k-way-merge through the same [`rabitq_ivf::TopK`] used inside the
+//! IVF index. The result is contract-identical to [`IvfRabitq::search`]:
+//! exact squared distances, ascending.
+//!
+//! Because readers run entirely on their snapshot, they proceed
+//! concurrently with `insert`/`seal`/`compact`: the writer does its
+//! expensive work privately and swaps the snapshot pointer at the end
+//! (see [`crate::snapshot`] for the full concurrency story). Detached
+//! [`CollectionReader`] handles serve threads that outlive the writer's
+//! `&mut` borrow.
 
 use crate::compaction::{CompactionPolicy, SegmentStats};
 use crate::manifest::{atomic_write, Manifest, SegmentMeta, MANIFEST_FILE};
 use crate::memtable::Memtable;
+use crate::memview::MemView;
 use crate::segment::Segment;
+use crate::snapshot::{CollectionReader, ParallelOptions, Snapshot, SnapshotSlot};
 use crate::wal::{Wal, WalRecord};
 use rabitq_core::RabitqConfig;
-use rabitq_ivf::{IvfConfig, IvfRabitq, SearchResult, TopK};
+use rabitq_ivf::{IvfConfig, IvfRabitq, SearchResult};
 use rand::Rng;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the write-ahead log within a collection directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -78,8 +91,15 @@ pub struct Collection {
     config: CollectionConfig,
     manifest: Manifest,
     wal: Wal,
+    /// The writer's flat working set — authoritative for sealing.
     memtable: Memtable,
-    segments: Vec<Segment>,
+    /// The read-side twin of `memtable`: a persistent op list kept in
+    /// lockstep, published to readers inside each snapshot.
+    mem_view: MemView,
+    segments: Vec<Arc<Segment>>,
+    /// The slot readers load snapshots from; shared with every
+    /// [`CollectionReader`].
+    slot: Arc<SnapshotSlot>,
     next_id: u32,
 }
 
@@ -136,15 +156,16 @@ impl Collection {
 
         let mut segments = Vec::with_capacity(manifest.segments.len());
         for meta in &manifest.segments {
-            let mut segment = Segment::load(&dir.join(&meta.file))?;
+            let segment = Segment::load(&dir.join(&meta.file))?;
             for &id in &meta.tombstones {
                 segment.delete(id);
             }
-            segments.push(segment);
+            segments.push(Arc::new(segment));
         }
 
         let (wal, replay) = Wal::open(&dir.join(WAL_FILE), config.dim)?;
         let mut memtable = Memtable::new(config.dim);
+        let mut mem_view = MemView::new();
         let mut next_id = manifest.next_id;
         for record in replay.records {
             match record {
@@ -153,6 +174,7 @@ impl Collection {
                     // crash hit between manifest switch and WAL reset).
                     if id >= manifest.wal_floor && !memtable.contains(id) {
                         memtable.insert(id, &vector);
+                        mem_view.insert(id, &vector);
                     }
                     next_id = next_id.max(id + 1);
                 }
@@ -160,8 +182,10 @@ impl Collection {
                     // Idempotent: re-applying an already-manifested
                     // tombstone (or one whose row was compacted away) is a
                     // no-op.
-                    if !memtable.delete(id) {
-                        for segment in &mut segments {
+                    if memtable.delete(id) {
+                        mem_view.delete(id);
+                    } else {
+                        for segment in &segments {
                             if segment.delete(id) {
                                 break;
                             }
@@ -171,13 +195,20 @@ impl Collection {
             }
         }
 
+        let slot = Arc::new(SnapshotSlot::new(Snapshot::new(
+            config.dim,
+            mem_view.clone(),
+            segments.clone(),
+        )));
         Ok(Self {
             dir: dir.to_path_buf(),
             config,
             manifest,
             wal,
             memtable,
+            mem_view,
             segments,
+            slot,
             next_id,
         })
     }
@@ -210,7 +241,7 @@ impl Collection {
 
     /// Live vectors across memtable and segments.
     pub fn len(&self) -> usize {
-        self.memtable.len() + self.segments.iter().map(Segment::n_live).sum::<usize>()
+        self.memtable.len() + self.segments.iter().map(|s| s.n_live()).sum::<usize>()
     }
 
     /// Whether no live vectors exist.
@@ -228,6 +259,34 @@ impl Collection {
         self.memtable.len()
     }
 
+    /// Publishes the current in-memory state as a fresh immutable
+    /// snapshot. O(1) plus one small allocation; called after every
+    /// mutation so readers always observe a consistent point-in-time view.
+    fn publish(&self) {
+        self.slot.store(Snapshot::new(
+            self.config.dim,
+            self.mem_view.clone(),
+            self.segments.clone(),
+        ));
+    }
+
+    /// The current immutable snapshot — a cheap `Arc` clone the caller
+    /// can search (also from other threads) while this collection keeps
+    /// mutating.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.slot.load()
+    }
+
+    /// A detached, clonable read handle that always sees the latest
+    /// snapshot. Hand these to reader threads before taking `&mut self`
+    /// for writer work; see the concurrent-reader tests.
+    pub fn reader(&self) -> CollectionReader {
+        CollectionReader {
+            slot: self.slot.clone(),
+            dim: self.config.dim,
+        }
+    }
+
     /// Appends one vector, returning its permanent id. The write is WAL'd
     /// before it is visible; a seal is triggered when the memtable fills.
     pub fn insert(&mut self, vector: &[f32]) -> io::Result<u32> {
@@ -235,9 +294,12 @@ impl Collection {
         let id = self.next_id;
         self.wal.append_insert(id, vector)?;
         self.memtable.insert(id, vector);
+        self.mem_view.insert(id, vector);
         self.next_id = self.next_id.checked_add(1).expect("id space exhausted");
         if self.memtable.len() >= self.config.memtable_capacity {
-            self.seal()?;
+            self.seal()?; // publishes
+        } else {
+            self.publish();
         }
         Ok(id)
     }
@@ -248,18 +310,26 @@ impl Collection {
         if self.memtable.contains(id) {
             self.wal.append_delete(id)?;
             self.memtable.delete(id);
+            self.mem_view.delete(id);
+            self.publish();
             return Ok(true);
         }
         let Some(seg) = self.segments.iter().position(|s| s.contains_live(id)) else {
             return Ok(false);
         };
         self.wal.append_delete(id)?;
+        // The tombstone bitmap is atomic, so this is immediately visible
+        // to in-flight snapshots too; republish regardless so the slot
+        // always reflects the latest committed state.
         self.segments[seg].delete(id);
+        self.publish();
         Ok(true)
     }
 
     /// Searches across memtable and all segments. Exact squared distances,
-    /// ascending — the same contract as [`IvfRabitq::search`].
+    /// ascending — the same contract as [`IvfRabitq::search`]. Runs on the
+    /// current snapshot, so it proceeds concurrently with writer work
+    /// happening through other handles.
     pub fn search<R: Rng + ?Sized>(
         &self,
         query: &[f32],
@@ -267,26 +337,21 @@ impl Collection {
         nprobe: usize,
         rng: &mut R,
     ) -> SearchResult {
-        assert_eq!(query.len(), self.config.dim, "query dimensionality");
-        let mut top = TopK::new(k);
-        let mut n_estimated = 0usize;
-        let mut n_reranked = 0usize;
-        if k > 0 {
-            n_reranked += self.memtable.scan_into(query, &mut top);
-            for segment in &self.segments {
-                let res = segment.search(query, k, nprobe, rng);
-                n_estimated += res.n_estimated;
-                n_reranked += res.n_reranked;
-                for (id, dist) in res.neighbors {
-                    top.push(id, dist);
-                }
-            }
-        }
-        SearchResult {
-            neighbors: top.into_sorted(),
-            n_estimated,
-            n_reranked,
-        }
+        self.snapshot().search(query, k, nprobe, rng)
+    }
+
+    /// Batch search with optional multi-threaded execution: `queries` is a
+    /// flat `n × dim` buffer, the result is one [`SearchResult`] per query
+    /// in query order, bit-identical for every `opts.threads` (see
+    /// [`Snapshot::search_many`]).
+    pub fn search_many(
+        &self,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        opts: ParallelOptions,
+    ) -> Vec<SearchResult> {
+        self.snapshot().search_many(queries, k, nprobe, opts)
     }
 
     /// Seals the memtable into a new immutable segment (no-op when empty).
@@ -322,10 +387,12 @@ impl Collection {
         });
         staged.store(&self.dir.join(MANIFEST_FILE))?;
 
-        // Durable — commit.
+        // Durable — commit, then let readers see the new segment set.
         self.manifest = staged;
-        self.segments.push(segment);
+        self.segments.push(Arc::new(segment));
         self.memtable.clear();
+        self.mem_view.clear();
+        self.publish();
         self.wal.reset()?;
 
         if self.config.auto_compact {
@@ -431,15 +498,19 @@ impl Collection {
             .collect();
         staged.store(&self.dir.join(MANIFEST_FILE))?;
 
-        // Durable — commit, then unlink the now-unreferenced files.
+        // Durable — commit and publish; the merged-away segments stay
+        // alive (in memory) as long as some snapshot still references
+        // them, then free via Arc drop. Their files unlink immediately —
+        // in-memory readers never reopen them.
         self.manifest = staged;
         let mut old_files = Vec::with_capacity(indices.len());
         for &i in indices.iter().rev() {
             old_files.push(self.segments.remove(i).name().to_string());
         }
         if let Some(segment) = replacement {
-            self.segments.push(segment);
+            self.segments.push(Arc::new(segment));
         }
+        self.publish();
         for file in old_files {
             std::fs::remove_file(self.dir.join(file)).ok();
         }
@@ -448,7 +519,7 @@ impl Collection {
 
     /// The manifest entries for the current in-memory segment set.
     fn segment_metas(&self) -> Vec<SegmentMeta> {
-        self.segments.iter().map(segment_meta).collect()
+        self.segments.iter().map(|s| segment_meta(s)).collect()
     }
 
     /// Builds a throwaway [`IvfRabitq`] over the collection's current live

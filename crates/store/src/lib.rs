@@ -8,11 +8,19 @@
 //! | Module | Role |
 //! |---|---|
 //! | [`wal`] | append-only log, checksummed frames, torn-tail recovery |
-//! | [`memtable`] | fresh writes, exact-scan search |
+//! | [`memtable`] | fresh writes, exact-scan search (writer side) |
+//! | [`memview`] | persistent, structurally shared memtable view (reader side) |
 //! | [`segment`] | sealed IVF-RaBitQ index + global-id remap |
+//! | [`snapshot`] | immutable point-in-time views, parallel fan-out, batch search |
 //! | [`manifest`] | atomic (temp + rename) record of the live segment set |
 //! | [`compaction`] | threshold policy: dead-weight and fan-out pressure |
 //! | [`collection`] | the orchestrator tying all of the above together |
+//!
+//! Reads are concurrent with writes: every mutation publishes an
+//! immutable [`Snapshot`], readers (or detached [`CollectionReader`]
+//! handles on other threads) search that frozen state, and
+//! [`Snapshot::search_many`] fans a query batch over a scoped worker pool
+//! with bit-identical results at every thread count.
 //!
 //! The engine preserves the paper's guarantee end-to-end: segments re-rank
 //! with the error-bound rule (exact distances out), the memtable is exact
@@ -46,12 +54,16 @@ pub mod collection;
 pub mod compaction;
 pub mod manifest;
 pub mod memtable;
+pub mod memview;
 pub mod segment;
+pub mod snapshot;
 pub mod wal;
 
 pub use collection::{Collection, CollectionConfig, WAL_FILE};
 pub use compaction::{CompactionPolicy, SegmentStats};
 pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use memtable::Memtable;
+pub use memview::MemView;
 pub use segment::Segment;
+pub use snapshot::{CollectionReader, ParallelOptions, Snapshot};
 pub use wal::{Wal, WalRecord, WalReplay};

@@ -1,0 +1,276 @@
+//! A persistent (immutable, structurally shared) view of the memtable.
+//!
+//! The writer's flat [`crate::Memtable`] is fast to seal but cannot be
+//! shared with concurrent readers — mutation would race the scan. The
+//! [`MemView`] is its read-side twin: a cons list of insert/delete
+//! operations where every mutation prepends one `Arc` node. Publishing a
+//! new collection snapshot is therefore O(1), structurally shares all
+//! prior rows, and older snapshots keep seeing exactly the rows that were
+//! live when they were taken — the memtable half of the snapshot
+//! isolation story.
+//!
+//! The list is newest-first. Ids are never reused, so a `Delete` node is
+//! always closer to the head than the `Insert` it cancels; a single
+//! forward walk that remembers the deletes it has passed resolves
+//! liveness exactly. The chain is bounded by the seal threshold, and
+//! [`MemNode::drop`] unwinds it iteratively so a long chain can never
+//! overflow the stack with recursive `Arc` drops — whichever view drops
+//! last.
+
+use rabitq_ivf::TopK;
+use rabitq_math::vecs;
+use std::sync::Arc;
+
+enum MemOp {
+    Insert { id: u32, row: Box<[f32]> },
+    Delete { id: u32 },
+}
+
+struct MemNode {
+    prev: Option<Arc<MemNode>>,
+    /// Live rows at and below this node (maintained incrementally).
+    n_live: usize,
+    op: MemOp,
+}
+
+impl Drop for MemNode {
+    /// Iterative chain teardown. The naive derived drop would recurse down
+    /// `prev` (one stack frame per node — a long chain overflows the
+    /// stack), and hanging the unwind off `MemView` alone is racy: two
+    /// views dropping a shared chain concurrently can both lose the
+    /// `try_unwrap` race and leave the final decrement to a plain `Arc`
+    /// drop. Unwinding *here* makes every path iterative: each node freed
+    /// in the loop has had its `prev` taken, so its own drop is O(1), and
+    /// a lost race just hands the remaining chain to whichever owner drops
+    /// last — whose `MemNode::drop` unwinds iteratively again.
+    fn drop(&mut self) {
+        let mut head = self.prev.take();
+        while let Some(node) = head {
+            match Arc::try_unwrap(node) {
+                Ok(mut owned) => head = owned.prev.take(),
+                Err(_) => break, // shared: the other owner unwinds later
+            }
+        }
+    }
+}
+
+/// A frozen, structurally shared memtable view (see module docs).
+#[derive(Default)]
+pub struct MemView {
+    head: Option<Arc<MemNode>>,
+}
+
+impl Clone for MemView {
+    fn clone(&self) -> Self {
+        Self {
+            head: self.head.clone(),
+        }
+    }
+}
+
+impl MemView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live rows visible in this view.
+    pub fn len(&self) -> usize {
+        self.head.as_ref().map_or(0, |n| n.n_live)
+    }
+
+    /// Whether no live rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records an insert. O(1); existing clones are unaffected.
+    pub(crate) fn insert(&mut self, id: u32, row: &[f32]) {
+        let n_live = self.len() + 1;
+        self.head = Some(Arc::new(MemNode {
+            prev: self.head.take(),
+            n_live,
+            op: MemOp::Insert {
+                id,
+                row: row.into(),
+            },
+        }));
+    }
+
+    /// Records a delete of an id **currently live in this view** (the
+    /// caller checks via [`MemView::contains`]). O(1).
+    pub(crate) fn delete(&mut self, id: u32) {
+        debug_assert!(self.contains(id), "delete of id {id} not live in view");
+        let n_live = self.len() - 1;
+        self.head = Some(Arc::new(MemNode {
+            prev: self.head.take(),
+            n_live,
+            op: MemOp::Delete { id },
+        }));
+    }
+
+    /// Drops this view's chain reference. Called when the memtable seals
+    /// into a segment; the teardown itself is the iterative
+    /// [`MemNode::drop`].
+    pub(crate) fn clear(&mut self) {
+        self.head = None;
+    }
+
+    /// Whether `id` is live in this view. The first node mentioning the id
+    /// decides: a `Delete` means dead, an `Insert` means live (ids are
+    /// unique, deletes always sit above their insert).
+    pub fn contains(&self, id: u32) -> bool {
+        let mut cursor = self.head.as_deref();
+        while let Some(node) = cursor {
+            match node.op {
+                MemOp::Delete { id: d } if d == id => return false,
+                MemOp::Insert { id: i, .. } if i == id => return true,
+                _ => {}
+            }
+            cursor = node.prev.as_deref();
+        }
+        false
+    }
+
+    /// Exact-scans every live row into `top`, returning the number of
+    /// exact distances computed (the view's contribution to
+    /// `n_reranked`). Matches [`crate::Memtable::scan_into`]'s contract.
+    ///
+    /// Two passes over the chain: collect + sort the tombstoned ids, then
+    /// scan inserts with a binary-search liveness check — O(n + d·log d)
+    /// instead of O(n·d) under delete churn. Checking an insert against
+    /// the *full* delete set is exact: ids are unique and a delete is only
+    /// recorded for an id inserted earlier, so no delete can refer to a
+    /// different row.
+    pub fn scan_into(&self, query: &[f32], top: &mut TopK) -> usize {
+        let mut deleted: Vec<u32> = Vec::new();
+        let mut cursor = self.head.as_deref();
+        while let Some(node) = cursor {
+            if let MemOp::Delete { id } = node.op {
+                deleted.push(id);
+            }
+            cursor = node.prev.as_deref();
+        }
+        deleted.sort_unstable();
+
+        let mut scanned = 0usize;
+        let mut cursor = self.head.as_deref();
+        while let Some(node) = cursor {
+            if let MemOp::Insert { id, row } = &node.op {
+                if deleted.binary_search(id).is_err() {
+                    assert_eq!(row.len(), query.len(), "query dimensionality");
+                    top.push(*id, vecs::l2_sq(row, query));
+                    scanned += 1;
+                }
+            }
+            cursor = node.prev.as_deref();
+        }
+        scanned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn top_ids(view: &MemView, query: &[f32], k: usize) -> Vec<u32> {
+        let mut top = TopK::new(k);
+        view.scan_into(query, &mut top);
+        top.into_sorted().into_iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_mutations() {
+        let mut view = MemView::new();
+        view.insert(1, &[0.0, 0.0]);
+        view.insert(2, &[1.0, 0.0]);
+        let frozen = view.clone();
+        view.insert(3, &[0.1, 0.0]);
+        view.delete(1);
+
+        assert_eq!(frozen.len(), 2);
+        assert!(frozen.contains(1));
+        assert!(!frozen.contains(3));
+        assert_eq!(top_ids(&frozen, &[0.0, 0.0], 3), vec![1, 2]);
+
+        assert_eq!(view.len(), 2);
+        assert!(!view.contains(1));
+        assert_eq!(top_ids(&view, &[0.0, 0.0], 3), vec![3, 2]);
+    }
+
+    #[test]
+    fn delete_then_scan_skips_the_row() {
+        let mut view = MemView::new();
+        view.insert(7, &[5.0]);
+        view.insert(8, &[1.0]);
+        view.delete(7);
+        assert_eq!(view.len(), 1);
+        let mut top = TopK::new(5);
+        assert_eq!(view.scan_into(&[0.0], &mut top), 1);
+        assert_eq!(top.into_sorted(), vec![(8, 1.0)]);
+    }
+
+    #[test]
+    fn clear_resets_and_clones_survive() {
+        let mut view = MemView::new();
+        for id in 0..100 {
+            view.insert(id, &[id as f32]);
+        }
+        let frozen = view.clone();
+        view.clear();
+        assert!(view.is_empty());
+        assert_eq!(frozen.len(), 100);
+        assert!(frozen.contains(42));
+    }
+
+    #[test]
+    fn long_chains_drop_without_stack_overflow() {
+        let mut view = MemView::new();
+        for id in 0..200_000 {
+            view.insert(id, &[0.0]);
+        }
+        drop(view); // must not recurse 200k frames deep
+    }
+
+    #[test]
+    fn shared_long_chains_drop_cleanly_from_either_side() {
+        // Two views sharing one long chain: whichever drops last must
+        // still tear down iteratively (the MemNode::drop path).
+        let mut view = MemView::new();
+        for id in 0..100_000 {
+            view.insert(id, &[0.0]);
+        }
+        let shared = view.clone();
+        for id in 100_000..200_000 {
+            view.insert(id, &[0.0]);
+        }
+        drop(view); // unwinds its private suffix, stops at the share point
+        drop(shared); // last owner: unwinds the remaining 100k nodes
+    }
+
+    #[test]
+    fn view_scan_matches_flat_memtable_scan() {
+        // The MemView is the read-side twin of the flat Memtable; the two
+        // scans must agree on the same operation sequence (including
+        // deletes), so the contracts cannot silently diverge.
+        let mut view = MemView::new();
+        let mut flat = crate::Memtable::new(2);
+        let rows: Vec<[f32; 2]> = (0..50).map(|i| [i as f32, (i * 7 % 13) as f32]).collect();
+        for (id, row) in rows.iter().enumerate() {
+            view.insert(id as u32, row);
+            flat.insert(id as u32, row);
+        }
+        for id in [3u32, 17, 44] {
+            view.delete(id);
+            flat.delete(id);
+        }
+        let query = [2.5f32, 4.0];
+        let mut top_a = TopK::new(10);
+        let mut top_b = TopK::new(10);
+        assert_eq!(
+            view.scan_into(&query, &mut top_a),
+            flat.scan_into(&query, &mut top_b)
+        );
+        assert_eq!(top_a.into_sorted(), top_b.into_sorted());
+    }
+}

@@ -11,7 +11,7 @@
 
 use rabitq_core::persist as p;
 use rabitq_core::RabitqConfig;
-use rabitq_ivf::{IvfConfig, IvfRabitq, SearchResult};
+use rabitq_ivf::{IvfConfig, IvfRabitq, RerankStrategy, SearchResult, SearchScratch};
 use rand::Rng;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -134,7 +134,11 @@ impl Segment {
     }
 
     /// Tombstones `global_id`. Returns whether it was live here.
-    pub fn delete(&mut self, global_id: u32) -> bool {
+    ///
+    /// Takes `&self`: the inner index's tombstone bitmap is atomic, so a
+    /// segment shared behind an `Arc` with concurrent readers (the
+    /// [`crate::Snapshot`] read path) can be tombstoned in place.
+    pub fn delete(&self, global_id: u32) -> bool {
         match self.lookup.get(&global_id) {
             Some(&local) => self.index.remove(local),
             None => false,
@@ -175,6 +179,27 @@ impl Segment {
         }
         res
     }
+
+    /// [`Segment::search`] through a reused [`SearchScratch`]: the
+    /// allocation-free path for worker threads that scan many segments per
+    /// query. Neighbors (already remapped to **global** ids) land in
+    /// `scratch.neighbors`; the return value is `(n_estimated, n_reranked)`.
+    pub fn search_into<R: Rng + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut SearchScratch,
+        rng: &mut R,
+    ) -> (usize, usize) {
+        let counts =
+            self.index
+                .search_into(query, k, nprobe, RerankStrategy::ErrorBound, scratch, rng);
+        for entry in &mut scratch.neighbors {
+            entry.0 = self.ids[entry.0 as usize];
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +237,7 @@ mod tests {
 
     #[test]
     fn deletes_route_through_the_remap_and_round_trip() {
-        let (mut seg, data) = sample_segment(120, 8);
+        let (seg, data) = sample_segment(120, 8);
         assert!(seg.contains_live(100)); // local 0
         assert!(seg.delete(100));
         assert!(!seg.delete(100));
@@ -232,7 +257,7 @@ mod tests {
 
     #[test]
     fn live_entries_skip_tombstones() {
-        let (mut seg, _) = sample_segment(10, 4);
+        let (seg, _) = sample_segment(10, 4);
         seg.delete(103); // local 1
         let ids: Vec<u32> = seg.live_entries().map(|(id, _)| id).collect();
         assert_eq!(ids.len(), 9);

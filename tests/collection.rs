@@ -6,7 +6,7 @@
 use rabitq::data::{exact_knn, generate, DatasetSpec, Profile};
 use rabitq::ivf::{IvfConfig, IvfRabitq};
 use rabitq::metrics::recall_at_k;
-use rabitq::store::{Collection, CollectionConfig, WAL_FILE};
+use rabitq::store::{Collection, CollectionConfig, ParallelOptions, WAL_FILE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -124,6 +124,41 @@ fn multi_segment_search_matches_single_index_contract() {
         (recall_multi - recall_single).abs() < 0.02,
         "multi {recall_multi} vs single {recall_single}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The README's concurrent-read example, end to end through the facade:
+/// a detached reader searches from another thread while the writer keeps
+/// mutating, and `search_many` is deterministic across thread counts.
+#[test]
+fn reader_handles_and_search_many_work_through_the_facade() {
+    let dir = tmp_dir("facade-concurrent");
+    let ds = dataset(400, 16, 44);
+    let mut config = CollectionConfig::new(ds.dim);
+    config.memtable_capacity = 100;
+    let mut c = Collection::open(&dir, config).unwrap();
+    for i in 0..400 {
+        c.insert(ds.vector(i)).unwrap();
+    }
+
+    let reader = c.reader();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let hit = reader.search(ds.vector(0), 3, 64, &mut rng);
+            assert_eq!(hit.neighbors[0].0, 0);
+            assert!(hit.neighbors[0].1 < 1e-6);
+        });
+        c.insert(ds.vector(0)).unwrap(); // writer stays live
+    });
+
+    let queries = ds.queries.clone();
+    let serial = c.search_many(&queries, 5, 64, ParallelOptions::threaded(1));
+    let threaded = c.search_many(&queries, 5, 64, ParallelOptions::threaded(4));
+    assert_eq!(serial.len(), ds.n_queries());
+    for (a, b) in serial.iter().zip(threaded.iter()) {
+        assert_eq!(a.neighbors, b.neighbors);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
