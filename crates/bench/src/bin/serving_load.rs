@@ -1,0 +1,336 @@
+//! **Extension benchmark** — serving throughput of the `rabitq-serve`
+//! HTTP front end, batched vs unbatched, plus behaviour under
+//! saturation.
+//!
+//! Starts an in-process server over a multi-segment collection and
+//! drives it with raw TCP clients:
+//!
+//! 1. **direct** phase: every search carries `"mode": "direct"` and runs
+//!    per-request on a connection worker — the unbatched baseline;
+//! 2. **batched** phase: the same load with `"mode": "batched"`, so
+//!    concurrent searches coalesce through the batching queue into
+//!    `search_many` calls;
+//! 3. **saturation** phase: 3× the connections against a server with a
+//!    deliberately tiny admission queue — measures shed rate (`429`s)
+//!    and that everything still drains cleanly.
+//!
+//! Latency percentiles are exact (client-side, every request recorded).
+//! Results go to stdout and one JSON object (default
+//! `BENCH_serving.json`).
+//!
+//! ```text
+//! cargo run --release -p rabitq-bench --bin serving_load -- \
+//!     --n 20000 --connections 8 --requests 200 --out BENCH_serving.json
+//! ```
+
+use rabitq_bench::{Args, Table};
+use rabitq_serve::{json_obj, Json, ServeConfig, Server};
+use rabitq_store::{Collection, CollectionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("n", 20_000);
+    let connections = args.usize("connections", 8).max(1);
+    let requests = args.usize("requests", 200);
+    let k = args.usize("k", 10);
+    let nprobe = args.usize("nprobe", 32);
+    let segments = args.usize("segments", 4).max(1);
+    let max_batch = args.usize("max-batch", 64);
+    let linger_us = args.u64("linger-us", 100);
+    let seed = args.u64("seed", 42);
+    let out_path = args.str("out", "BENCH_serving.json");
+
+    let dim = 64usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
+    let queries = rabitq_math::rng::standard_normal_vec(&mut rng, 512 * dim);
+
+    println!("# Extension: rabitq-serve throughput, batched vs unbatched");
+    println!(
+        "# n = {n}, dim = {dim}, connections = {connections}, requests/conn = {requests}, \
+         k = {k}, nprobe = {nprobe}, max_batch = {max_batch}, linger = {linger_us}us\n"
+    );
+
+    let dir = std::env::temp_dir().join(format!("bench-serving-{}", std::process::id()));
+    let build = |tag: &str| {
+        let d = dir.join(tag);
+        std::fs::remove_dir_all(&d).ok();
+        let mut config = CollectionConfig::new(dim);
+        config.memtable_capacity = n.div_ceil(segments);
+        config.auto_compact = false;
+        let mut collection = Collection::open(&d, config).expect("open collection");
+        for row in data.chunks_exact(dim) {
+            collection.insert(row).expect("insert");
+        }
+        collection.seal().expect("seal");
+        collection
+    };
+
+    // --- Phases 1 + 2: direct vs batched on the same server ---------------
+    let mut config = ServeConfig {
+        workers: connections.max(8),
+        default_k: k,
+        default_nprobe: nprobe,
+        ..ServeConfig::default()
+    };
+    config.batch.max_batch = max_batch;
+    config.batch.linger = Duration::from_micros(linger_us);
+    let server =
+        Server::start(config.clone(), vec![("bench".into(), build("main"))]).expect("start server");
+    let addr = server.addr();
+
+    // Warm up both execution paths (JIT-free, but populates caches and
+    // thread-local scratch).
+    run_phase(addr, &queries, dim, 2, 20, k, "direct");
+    run_phase(addr, &queries, dim, 2, 20, k, "batched");
+
+    let direct = run_phase(addr, &queries, dim, connections, requests, k, "direct");
+    let batched = run_phase(addr, &queries, dim, connections, requests, k, "batched");
+
+    let stats = fetch_stats(addr);
+    let metrics = stats.get("metrics").expect("stats.metrics");
+    let mean_batch = metrics
+        .get("mean_batch_size")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let batch_histogram = metrics
+        .get("batch_size_histogram")
+        .cloned()
+        .unwrap_or(Json::Arr(Vec::new()));
+    server.shutdown();
+
+    // --- Phase 3: saturation against a tiny admission queue ---------------
+    let mut stress = config.clone();
+    stress.batch.queue_depth = 4;
+    stress.batch.max_batch = 4;
+    stress.batch.linger = Duration::from_millis(2);
+    stress.workers = connections * 3;
+    let server = Server::start(stress, vec![("bench".into(), build("stress"))])
+        .expect("start stress server");
+    let sat = run_phase(
+        server.addr(),
+        &queries,
+        dim,
+        connections * 3,
+        requests,
+        k,
+        "batched",
+    );
+    let sat_shed = server
+        .metrics()
+        .shed_overload
+        .load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown(); // must drain cleanly even after heavy shedding
+    let sat_total = (connections * 3 * requests) as u64;
+    let shed_rate = sat_shed as f64 / sat_total as f64;
+
+    // --- Report ------------------------------------------------------------
+    let mut table = Table::new(&[
+        "phase", "conns", "QPS", "p50 us", "p95 us", "p99 us", "ok", "shed",
+    ]);
+    for (name, conns, phase) in [
+        ("direct", connections, &direct),
+        ("batched", connections, &batched),
+        ("saturation", connections * 3, &sat),
+    ] {
+        table.row(&[
+            name.into(),
+            format!("{conns}"),
+            format!("{:.0}", phase.qps),
+            format!("{}", phase.p50),
+            format!("{}", phase.p95),
+            format!("{}", phase.p99),
+            format!("{}", phase.ok),
+            format!("{}", phase.shed),
+        ]);
+    }
+    table.print();
+    let batching_gain = batched.qps / direct.qps;
+    println!(
+        "\nbatched vs direct QPS: {batching_gain:.2}x (mean executed batch \
+         size {mean_batch:.1})"
+    );
+    println!(
+        "saturation: {sat_shed}/{sat_total} shed ({:.1}%), drained clean",
+        shed_rate * 100.0
+    );
+    assert!(
+        direct.shed == 0 && batched.shed == 0,
+        "unsaturated phases must not shed"
+    );
+    assert!(sat.ok > 0, "saturation must not starve every client");
+
+    let json = json_obj! {
+        "bench" => "serving_load",
+        "n" => n,
+        "dim" => dim,
+        "connections" => connections,
+        "requests_per_connection" => requests,
+        "k" => k,
+        "nprobe" => nprobe,
+        "max_batch" => max_batch,
+        "linger_us" => linger_us,
+        "direct" => direct.to_json(),
+        "batched" => batched.to_json(),
+        "saturation" => sat.to_json(),
+        "batching_speedup" => batching_gain,
+        "mean_batch_size" => mean_batch,
+        "batch_size_histogram" => batch_histogram,
+        "saturation_shed_rate" => shed_rate
+    };
+    std::fs::write(&out_path, json.encode() + "\n").expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One measured load phase.
+struct PhaseResult {
+    qps: f64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    ok: u64,
+    shed: u64,
+}
+
+impl PhaseResult {
+    fn to_json(&self) -> Json {
+        json_obj! {
+            "qps" => self.qps,
+            "p50_us" => self.p50,
+            "p95_us" => self.p95,
+            "p99_us" => self.p99,
+            "ok" => self.ok,
+            "shed" => self.shed
+        }
+    }
+}
+
+/// Drives `conns` keep-alive connections, each sending `requests`
+/// searches in `mode`, and aggregates exact client-side latencies.
+fn run_phase(
+    addr: SocketAddr,
+    queries: &[f32],
+    dim: usize,
+    conns: usize,
+    requests: usize,
+    k: usize,
+    mode: &str,
+) -> PhaseResult {
+    let n_queries = queries.len() / dim;
+    let started = Instant::now();
+    let threads: Vec<_> = (0..conns)
+        .map(|c| {
+            let mode = mode.to_string();
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+                let mut buf = Vec::new();
+                let mut latencies = Vec::with_capacity(requests);
+                let (mut ok, mut shed) = (0u64, 0u64);
+                for r in 0..requests {
+                    let qi = (c * requests + r) % n_queries;
+                    let body = search_body(&queries[qi * dim..(qi + 1) * dim], k, &mode);
+                    let req = format!(
+                        "POST /search HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let t0 = Instant::now();
+                    stream.write_all(req.as_bytes()).expect("write");
+                    let status = read_response(&mut stream, &mut buf);
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    match status {
+                        200 => ok += 1,
+                        429 => shed += 1,
+                        other => panic!("unexpected status {other}"),
+                    }
+                }
+                (latencies, ok, shed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(conns * requests);
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for t in threads {
+        let (lat, o, s) = t.join().expect("client thread");
+        latencies.extend(lat);
+        ok += o;
+        shed += s;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    PhaseResult {
+        qps: latencies.len() as f64 / elapsed,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        ok,
+        shed,
+    }
+}
+
+fn search_body(vector: &[f32], k: usize, mode: &str) -> String {
+    let vec_json: Vec<String> = vector.iter().map(|v| format!("{v}")).collect();
+    format!(
+        "{{\"vector\":[{}],\"k\":{k},\"mode\":\"{mode}\"}}",
+        vec_json.join(",")
+    )
+}
+
+/// Reads one HTTP response off the stream; returns the status code.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> u16 {
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end]).expect("ascii head");
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .expect("status line")
+                .parse()
+                .expect("status code");
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().expect("content-length"))
+                })
+                .unwrap_or(0);
+            let total = head_end + 4 + content_length;
+            if buf.len() >= total {
+                buf.drain(..total);
+                return status;
+            }
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Fetches and parses `/stats`.
+fn fetch_stats(addr: SocketAddr) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n")
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read stats");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("stats head");
+    let body = std::str::from_utf8(&raw[head_end + 4..]).expect("utf8 stats");
+    Json::parse(body).expect("stats json")
+}

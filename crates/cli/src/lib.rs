@@ -25,7 +25,13 @@
 //! rabitq compact            --dir ./coll
 //! rabitq collection-search  --dir ./coll --queries q.fvecs --k 100 \
 //!                           --nprobe 64 --gt gt.ivecs --out results.ivecs
+//! rabitq serve              --dir ./coll --addr 127.0.0.1:7878 \
+//!                           --workers 8 --max-batch 64 --linger-us 100
 //! ```
+//!
+//! `serve` runs the `rabitq-serve` HTTP front end over a collection
+//! until interrupted (or for `--duration-ms` if given): searches are
+//! coalesced through the batching queue, mutations go through the WAL.
 //!
 //! `collection-search` also exposes the parallel read path:
 //! `--threads N` fans each query's segment scans over `N` workers, and
@@ -65,6 +71,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "delete" => cmd_delete(&flags),
         "compact" => cmd_compact(&flags),
         "collection-search" => cmd_collection_search(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -86,6 +93,7 @@ pub const COMMANDS: &[&str] = &[
     "delete",
     "compact",
     "collection-search",
+    "serve",
     "help",
 ];
 
@@ -109,6 +117,8 @@ pub fn usage() -> String {
          \x20 compact            force-merge all segments, reclaim tombstones\n\
          \x20 collection-search  query a collection (memtable + segments);\n\
          \x20                    --threads N / --batch for parallel reads\n\
+         \x20 serve              HTTP front end over a collection (JSON API,\n\
+         \x20                    batched searches, admission control)\n\
          \n\
          \x20 help               this text\n\
          see crate docs for per-command flags",
@@ -611,6 +621,44 @@ fn cmd_collection_search(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let collection =
+        Collection::open_existing(&dir).map_err(|e| io_err("opening collection", e))?;
+    let name = flags.str_or("name", "default").to_string();
+    let mut config = rabitq_serve::ServeConfig {
+        addr: flags.str_or("addr", "127.0.0.1:7878").to_string(),
+        workers: flags.usize_or("workers", 8)?,
+        default_k: flags.usize_or("k", 10)?,
+        default_nprobe: flags.usize_or("nprobe", 32)?,
+        ..rabitq_serve::ServeConfig::default()
+    };
+    config.batch.max_batch = flags.usize_or("max-batch", 64)?;
+    config.batch.linger = std::time::Duration::from_micros(flags.u64_or("linger-us", 100)?);
+    config.batch.queue_depth = flags.usize_or("queue-depth", 256)?;
+    let duration_ms = flags.u64_or("duration-ms", 0)?;
+
+    let (live, segments) = (collection.len(), collection.n_segments());
+    let server = rabitq_serve::Server::start(config, vec![(name.clone(), collection)])
+        .map_err(|e| io_err("starting server", e))?;
+    println!(
+        "serving collection {name:?} ({live} live vectors, {segments} segments) \
+         on http://{}",
+        server.addr()
+    );
+    if duration_ms == 0 {
+        // Run until the process is killed; the collection's WAL makes
+        // an abrupt exit safe.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    server.shutdown();
+    println!("shut down after {duration_ms} ms");
+    Ok(())
+}
+
 /// Parses a comma-separated id list, with `a..b` ranges (`b` exclusive).
 fn parse_id_list(spec: &str) -> Result<Vec<u32>, String> {
     let mut ids = Vec::new();
@@ -1007,6 +1055,59 @@ mod tests {
             outputs.push(io::read_ivecs(&out).unwrap());
         }
         assert_eq!(outputs[0], outputs[1]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_runs_for_duration_and_exits() {
+        let dir = tmp_dir("serve-smoke");
+        let data = dir.join("base.fvecs");
+        let coll = dir.join("coll");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "300",
+            "--queries",
+            "2",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            dir.join("q.fvecs").to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ingest",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--memtable",
+            "100",
+            "--seal",
+        ]))
+        .unwrap();
+        // Ephemeral port, bounded run: starts, serves, shuts down clean.
+        run(&args(&[
+            "serve",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--duration-ms",
+            "50",
+        ]))
+        .unwrap();
+        // A missing collection is a clean error.
+        assert!(run(&args(&[
+            "serve",
+            "--dir",
+            dir.join("nonexistent").to_str().unwrap()
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

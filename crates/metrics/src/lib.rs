@@ -9,13 +9,21 @@
 //! * [`timer`] — wall-clock helpers for per-vector estimation time and QPS;
 //! * [`stats`] — least-squares regression (Figure 7's unbiasedness fit) and
 //!   histograms (Figure 8's distribution verification).
+//!
+//! Plus one serving-side metric:
+//!
+//! * [`latency`] — a lock-free log-bucketed latency histogram
+//!   (p50/p95/p99 under concurrent recording) for the network front end
+//!   and its load harness.
 
 pub mod errors;
+pub mod latency;
 pub mod recall;
 pub mod stats;
 pub mod timer;
 
 pub use errors::RelativeErrorStats;
+pub use latency::LatencyHistogram;
 pub use recall::{average_distance_ratio, recall_at_k};
 pub use stats::{linear_regression, Histogram, LinearFit};
 pub use timer::Stopwatch;

@@ -1,0 +1,297 @@
+//! Route dispatch and the JSON API handlers.
+//!
+//! | Route | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/healthz` | GET | — | `{"status":"ok"}` |
+//! | `/stats` | GET | — | metrics + per-collection sizes |
+//! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?}` | `{"neighbors":[{"id","distance"}…],…}` |
+//! | `/collections/:name/insert` | POST | `{"vector":[…]}` or `{"vectors":[[…]…]}` | `{"ids":[…]}` |
+//! | `/collections/:name/delete` | POST | `{"id":n}` or `{"ids":[…]}` | `{"deleted":n}` |
+//! | `/search`, `/insert`, `/delete` | POST | as above | against the default collection |
+//!
+//! `"mode"` on a search selects `"batched"` (through the admission queue
+//! and the coalescing batcher) or `"direct"` (execute on the caller's
+//! thread) — defaulting to the server's `batching` config. Direct mode is
+//! the per-request baseline the load harness compares batching against.
+
+use crate::batcher::SubmitError;
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::json_obj;
+use crate::server::{ServedCollection, ServerState};
+use rabitq_ivf::SearchResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Dispatches one request.
+pub(crate) fn handle(state: &ServerState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => method(req, "GET", |_| healthz()),
+        ["stats"] => method(req, "GET", |_| stats(state)),
+        ["search"] => method(req, "POST", |r| search(state, default(state), r)),
+        ["insert"] => method(req, "POST", |r| insert(state, default(state), r)),
+        ["delete"] => method(req, "POST", |r| delete(state, default(state), r)),
+        ["collections", name, action] => {
+            let Some(served) = state.collections.get(*name) else {
+                return Response::error(404, &format!("unknown collection {name:?}"));
+            };
+            match *action {
+                "search" => method(req, "POST", |r| search(state, served, r)),
+                "insert" => method(req, "POST", |r| insert(state, served, r)),
+                "delete" => method(req, "POST", |r| delete(state, served, r)),
+                _ => Response::error(404, &format!("unknown action {action:?}")),
+            }
+        }
+        _ => Response::error(404, &format!("no route for {:?}", req.path)),
+    }
+}
+
+fn default(state: &ServerState) -> &ServedCollection {
+    &state.collections[&state.default_name]
+}
+
+fn method(req: &Request, want: &str, f: impl FnOnce(&Request) -> Response) -> Response {
+    if req.method == want {
+        f(req)
+    } else {
+        Response::error(405, &format!("use {want} for this route"))
+    }
+}
+
+fn healthz() -> Response {
+    Response::json(200, json_obj! {"status" => "ok"}.encode())
+}
+
+fn stats(state: &ServerState) -> Response {
+    let collections = Json::Obj(
+        state
+            .collections
+            .iter()
+            .map(|(name, served)| {
+                let snapshot = served.reader.snapshot();
+                (
+                    name.clone(),
+                    json_obj! {
+                        "dim" => snapshot.dim(),
+                        "live_vectors" => snapshot.len(),
+                        "segments" => snapshot.n_segments(),
+                        "memtable_rows" => snapshot.memtable_len(),
+                        "queued_searches" => served.batcher.queue_len()
+                    },
+                )
+            })
+            .collect(),
+    );
+    let body = json_obj! {
+        "uptime_ms" => state.started.elapsed().as_millis() as u64,
+        "batching_default" => state.config.batching,
+        "max_batch" => state.config.batch.max_batch,
+        "queue_depth" => state.config.batch.queue_depth,
+        "metrics" => state.metrics.to_json(),
+        "collections" => collections
+    };
+    Response::json(200, body.encode())
+}
+
+/// Parses the request body as a JSON object, or answers `400`.
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::error(400, "body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(Response::error(400, "empty body; send a JSON object"));
+    }
+    Json::parse(text).map_err(|e| Response::error(400, &e.to_string()))
+}
+
+/// Extracts a vector of `dim` floats from a JSON array.
+fn parse_vector(value: &Json, dim: usize) -> Result<Vec<f32>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| "vector must be a JSON array of numbers".to_string())?;
+    if items.len() != dim {
+        return Err(format!(
+            "vector has {} dimensions, collection expects {dim}",
+            items.len()
+        ));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| "vector elements must be numbers".to_string())
+        })
+        .collect()
+}
+
+fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let dim = served.reader.dim();
+    let Some(vector_json) = body.get("vector") else {
+        return Response::error(400, "missing \"vector\"");
+    };
+    let query = match parse_vector(vector_json, dim) {
+        Ok(q) => q,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let k = match optional_usize(&body, "k", state.config.default_k) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let nprobe = match optional_usize(&body, "nprobe", state.config.default_nprobe) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let batched = match body.get("mode").and_then(Json::as_str) {
+        None => state.config.batching,
+        Some("batched") => true,
+        Some("direct") => false,
+        Some(other) => {
+            return Response::error(400, &format!("unknown mode {other:?}"));
+        }
+    };
+
+    let start = Instant::now();
+    let result = if batched {
+        match served.batcher.submit(query, k, nprobe) {
+            Ok(r) => r,
+            Err(SubmitError::Overloaded) => {
+                state.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Response::error(429, "admission queue full, retry later");
+            }
+            Err(SubmitError::ShuttingDown) => {
+                state
+                    .metrics
+                    .shed_unavailable
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::error(503, "server is shutting down");
+            }
+        }
+    } else {
+        // Direct per-request execution on this worker thread: the
+        // unbatched baseline. Snapshot load + serial search.
+        let seq = state.direct_seq.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(state.config.batch.seed ^ seq);
+        served.reader.search(&query, k, nprobe, &mut rng)
+    };
+    state.metrics.search_latency.record(start.elapsed());
+    Response::json(200, search_json(&result).encode())
+}
+
+fn search_json(result: &SearchResult) -> Json {
+    let neighbors = Json::Arr(
+        result
+            .neighbors
+            .iter()
+            .map(|&(id, dist)| {
+                json_obj! {"id" => u64::from(id), "distance" => f64::from(dist)}
+            })
+            .collect(),
+    );
+    json_obj! {
+        "neighbors" => neighbors,
+        "n_estimated" => result.n_estimated,
+        "n_reranked" => result.n_reranked
+    }
+}
+
+fn optional_usize(body: &Json, key: &str, default: usize) -> Result<usize, Response> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_u64() {
+            Some(n) if n > 0 => Ok(n as usize),
+            _ => Err(Response::error(
+                400,
+                &format!("\"{key}\" must be a positive integer"),
+            )),
+        },
+    }
+}
+
+fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let dim = served.reader.dim();
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    if let Some(single) = body.get("vector") {
+        match parse_vector(single, dim) {
+            Ok(v) => rows.push(v),
+            Err(msg) => return Response::error(400, &msg),
+        }
+    } else if let Some(many) = body.get("vectors").and_then(Json::as_array) {
+        for (i, item) in many.iter().enumerate() {
+            match parse_vector(item, dim) {
+                Ok(v) => rows.push(v),
+                Err(msg) => return Response::error(400, &format!("vectors[{i}]: {msg}")),
+            }
+        }
+    } else {
+        return Response::error(400, "missing \"vector\" or \"vectors\"");
+    }
+    if rows.is_empty() {
+        return Response::error(400, "\"vectors\" is empty");
+    }
+
+    let mut writer = served.writer.lock().unwrap_or_else(|e| e.into_inner());
+    let mut ids = Vec::with_capacity(rows.len());
+    for row in &rows {
+        match writer.insert(row) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                // Ids already inserted are durable; report the failure.
+                return Response::error(500, &format!("insert failed after {}: {e}", ids.len()));
+            }
+        }
+    }
+    drop(writer);
+    state
+        .metrics
+        .inserts
+        .fetch_add(ids.len() as u64, Ordering::Relaxed);
+    let ids_json = Json::Arr(ids.iter().map(|&id| Json::from(u64::from(id))).collect());
+    Response::json(200, json_obj! {"ids" => ids_json}.encode())
+}
+
+fn delete(state: &ServerState, served: &ServedCollection, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mut ids: Vec<u32> = Vec::new();
+    if let Some(single) = body.get("id") {
+        match single.as_u64() {
+            Some(id) if id <= u64::from(u32::MAX) => ids.push(id as u32),
+            _ => return Response::error(400, "\"id\" must be a u32"),
+        }
+    } else if let Some(many) = body.get("ids").and_then(Json::as_array) {
+        for item in many {
+            match item.as_u64() {
+                Some(id) if id <= u64::from(u32::MAX) => ids.push(id as u32),
+                _ => return Response::error(400, "\"ids\" must be u32 values"),
+            }
+        }
+    } else {
+        return Response::error(400, "missing \"id\" or \"ids\"");
+    }
+
+    let mut writer = served.writer.lock().unwrap_or_else(|e| e.into_inner());
+    let mut deleted = 0u64;
+    for id in ids {
+        match writer.delete(id) {
+            Ok(true) => deleted += 1,
+            Ok(false) => {}
+            Err(e) => return Response::error(500, &format!("delete failed: {e}")),
+        }
+    }
+    drop(writer);
+    state.metrics.deletes.fetch_add(deleted, Ordering::Relaxed);
+    Response::json(200, json_obj! {"deleted" => deleted}.encode())
+}

@@ -1,0 +1,358 @@
+//! The server: one acceptor thread, a fixed pool of connection workers,
+//! and graceful shutdown that drains in-flight work.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!        TcpListener (nonblocking accept loop)
+//!              │ bounded handoff queue — overflow answered 503
+//!        ┌─────┴─────┬───────────┐
+//!    worker 0    worker 1 …  worker W-1     (keep-alive request loops)
+//!        │ search     │ insert/delete
+//!        ▼            ▼
+//!    Batcher ──► Snapshot::search_many   Mutex<Collection> (writers only)
+//! ```
+//!
+//! Searches never touch the writer lock — they go through the collection's
+//! [`CollectionReader`] snapshot path, coalesced by the [`Batcher`].
+//! Mutations serialize on a per-collection `Mutex<Collection>`.
+//!
+//! ## Shutdown ordering
+//!
+//! 1. the shutdown flag flips — the acceptor stops accepting, connection
+//!    workers finish (and answer) their current request, then close;
+//! 2. connections still queued for a worker are dropped unserved (they
+//!    were never read);
+//! 3. workers are joined **while the batchers still run**, so every
+//!    admitted search gets its response before its connection closes;
+//! 4. each batcher is then shut down, which by its own invariant drains
+//!    the admission queue first.
+//!
+//! The result: every request that got an HTTP head written back is fully
+//! answered; nothing admitted to the batcher is ever dropped.
+
+use crate::batcher::{BatchConfig, Batcher};
+use crate::http::{HttpConn, ReadOutcome, Response};
+use crate::metrics::ServerMetrics;
+use crate::router;
+use rabitq_store::{Collection, CollectionReader};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything tunable about the server.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker beyond this are answered
+    /// `503` immediately.
+    pub conn_backlog: usize,
+    /// Largest accepted request body, bytes (`413` beyond).
+    pub max_body: usize,
+    /// Whether searches go through the batching queue by default (a
+    /// request can override with `"mode": "direct" | "batched"`).
+    pub batching: bool,
+    /// Batching/admission tuning (shared by every collection's batcher).
+    pub batch: BatchConfig,
+    /// Default `k` when a search request omits it.
+    pub default_k: usize,
+    /// Default `nprobe` when a search request omits it.
+    pub default_nprobe: usize,
+    /// Per-connection socket read timeout (also the shutdown poll tick).
+    pub read_timeout: Duration,
+    /// Consecutive read-timeout ticks tolerated mid-request before `408`.
+    pub partial_timeout_ticks: u32,
+    /// Consecutive read-timeout ticks an idle keep-alive connection may
+    /// hold a worker before being closed.
+    pub idle_timeout_ticks: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            conn_backlog: 128,
+            max_body: 1 << 20, // 1 MiB
+            batching: true,
+            batch: BatchConfig::default(),
+            default_k: 10,
+            default_nprobe: 32,
+            read_timeout: Duration::from_millis(100),
+            partial_timeout_ticks: 20,
+            idle_timeout_ticks: 600,
+        }
+    }
+}
+
+/// One collection as served: lock-free read handle + batcher for
+/// searches, mutex-serialized writer for mutations.
+pub(crate) struct ServedCollection {
+    pub(crate) writer: Mutex<Collection>,
+    pub(crate) reader: CollectionReader,
+    pub(crate) batcher: Batcher,
+}
+
+/// Shared server state, one `Arc` per thread.
+pub(crate) struct ServerState {
+    pub(crate) config: ServeConfig,
+    pub(crate) collections: HashMap<String, Arc<ServedCollection>>,
+    pub(crate) default_name: String,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) started: Instant,
+    /// Seed sequence for direct-mode (unbatched) searches.
+    pub(crate) direct_seq: AtomicU64,
+}
+
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>, // (connections, shutdown)
+    ready: Condvar,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// it gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    conns: Arc<ConnQueue>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `collections` (name → open collection).
+    /// The first name in the list is also reachable via the unprefixed
+    /// `/search`, `/insert`, `/delete` routes.
+    pub fn start(
+        config: ServeConfig,
+        collections: Vec<(String, Collection)>,
+    ) -> io::Result<Server> {
+        assert!(!collections.is_empty(), "need at least one collection");
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics = Arc::new(ServerMetrics::new());
+        let default_name = collections[0].0.clone();
+        let mut map = HashMap::new();
+        for (name, collection) in collections {
+            let reader = collection.reader();
+            let batcher = Batcher::start(reader.clone(), config.batch.clone(), metrics.clone());
+            map.insert(
+                name,
+                Arc::new(ServedCollection {
+                    writer: Mutex::new(collection),
+                    reader,
+                    batcher,
+                }),
+            );
+        }
+        let state = Arc::new(ServerState {
+            config: config.clone(),
+            collections: map,
+            default_name,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            direct_seq: AtomicU64::new(0),
+        });
+        let conns = Arc::new(ConnQueue {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+
+        let acceptor = {
+            let state = state.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("rabitq-acceptor".into())
+                .spawn(move || accept_loop(&listener, &state, &conns))
+                .expect("spawn acceptor")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let state = state.clone();
+                let conns = conns.clone();
+                std::thread::Builder::new()
+                    .name(format!("rabitq-conn-{i}"))
+                    .spawn(move || worker_loop(&state, &conns))
+                    .expect("spawn connection worker")
+            })
+            .collect();
+
+        Ok(Server {
+            addr,
+            state,
+            conns,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        self.state.metrics.clone()
+    }
+
+    /// Gracefully stops: drains in-flight requests (see the module docs
+    /// for the ordering), joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake workers parked on the connection queue.
+        {
+            let mut q = self.conns.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.1 = true;
+        }
+        self.conns.ready.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().ok();
+        }
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+        // Workers are gone; no submitter remains. Drain each batcher.
+        for served in self.state.collections.values() {
+            served.batcher.initiate_shutdown();
+        }
+        // Batcher joins happen in their Drop impls when the state Arc
+        // unwinds; trigger the drain explicitly here so `shutdown`
+        // returning means "fully quiesced".
+        for served in self.state.collections.values() {
+            while served.batcher.queue_len() > 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServerState, conns: &ConnQueue) {
+    loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(state.config.read_timeout))
+                    .ok();
+                let mut q = conns.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.0.len() >= state.config.conn_backlog {
+                    drop(q);
+                    // Over backlog: fail fast so the client can back off,
+                    // instead of queueing into unbounded latency.
+                    state
+                        .metrics
+                        .shed_unavailable
+                        .fetch_add(1, Ordering::Relaxed);
+                    state.metrics.count_response(503);
+                    let mut conn = HttpConn::new(stream);
+                    conn.write_response(&Response::error(503, "connection backlog full"), false)
+                        .ok();
+                    continue;
+                }
+                q.0.push_back(stream);
+                drop(q);
+                conns.ready.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState, conns: &ConnQueue) {
+    loop {
+        let stream = {
+            let mut q = conns.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = q.0.pop_front() {
+                    break stream;
+                }
+                if q.1 {
+                    return; // shutdown with nothing queued
+                }
+                q = conns.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // During shutdown, drop still-queued (never-read) connections.
+        if state.shutdown.load(Ordering::Relaxed) {
+            continue;
+        }
+        handle_connection(state, stream);
+    }
+}
+
+/// Serves one connection's keep-alive loop until close, error, idle
+/// expiry, or shutdown.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let mut conn = HttpConn::new(stream);
+    let mut timeout_ticks = 0u32;
+    loop {
+        match conn.read_request(state.config.max_body) {
+            ReadOutcome::Request(req) => {
+                timeout_ticks = 0;
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let resp = router::handle(state, &req);
+                state.metrics.count_response(resp.status);
+                let shutting_down = state.shutdown.load(Ordering::Relaxed);
+                let keep = req.keep_alive && !shutting_down;
+                if conn.write_response(&resp, keep).is_err() {
+                    return;
+                }
+                if !keep || resp.close {
+                    return;
+                }
+            }
+            ReadOutcome::Closed | ReadOutcome::Disconnected => return,
+            ReadOutcome::Timeout { partial } => {
+                if state.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                timeout_ticks += 1;
+                if partial && timeout_ticks > state.config.partial_timeout_ticks {
+                    state.metrics.count_response(408);
+                    conn.write_response(&Response::error(408, "request timed out"), false)
+                        .ok();
+                    return;
+                }
+                if !partial && timeout_ticks > state.config.idle_timeout_ticks {
+                    return; // reclaim the worker from an idle connection
+                }
+            }
+            ReadOutcome::Error(e) => {
+                state.metrics.count_response(e.status);
+                conn.write_response(&Response::error(e.status, &e.message), false)
+                    .ok();
+                return;
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`memview`] | persistent, structurally shared memtable view (reader side) |
 //! | [`segment`] | sealed IVF-RaBitQ index + global-id remap |
 //! | [`snapshot`] | immutable point-in-time views, parallel fan-out, batch search |
+//! | [`pool`] | persistent process-wide worker threads behind the parallel paths |
 //! | [`manifest`] | atomic (temp + rename) record of the live segment set |
 //! | [`compaction`] | threshold policy: dead-weight and fan-out pressure |
 //! | [`collection`] | the orchestrator tying all of the above together |
@@ -55,6 +56,7 @@ pub mod compaction;
 pub mod manifest;
 pub mod memtable;
 pub mod memview;
+pub mod pool;
 pub mod segment;
 pub mod snapshot;
 pub mod wal;
@@ -64,6 +66,7 @@ pub use compaction::{CompactionPolicy, SegmentStats};
 pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use memtable::Memtable;
 pub use memview::MemView;
+pub use pool::WorkerPool;
 pub use segment::Segment;
 pub use snapshot::{CollectionReader, ParallelOptions, Snapshot};
 pub use wal::{Wal, WalRecord, WalReplay};

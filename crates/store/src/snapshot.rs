@@ -26,18 +26,59 @@
 //! ## Parallel execution
 //!
 //! [`Snapshot::search_many`] (batch) and [`Snapshot::search_parallel`]
-//! (single query, segment-parallel) fan work out over a scoped worker
-//! pool, the same split-the-slots pattern as the threaded IVF build. Both
-//! derive one RNG per (query, segment) task from a caller seed, so the
-//! results are **bit-identical for every thread count** — the scheduler
-//! can never change an answer.
+//! (single query, segment-parallel) fan work out over the process-wide
+//! persistent [`WorkerPool`] — threads are created once and parked
+//! between calls, so a batch never pays thread startup (the cost that
+//! made the first scoped-spawn implementation scale flat). Each pool
+//! thread keeps a thread-local [`SearchScratch`] that is reused across
+//! queries *and* across batches, preserving the allocation-free
+//! steady state. Both paths derive one RNG per (query, segment) task
+//! from a caller seed, so the results are **bit-identical for every
+//! thread count** — the scheduler can never change an answer.
 
 use crate::memview::MemView;
+use crate::pool::WorkerPool;
 use crate::segment::Segment;
 use rabitq_ivf::{SearchResult, SearchScratch, TopK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::{RefCell, UnsafeCell};
 use std::sync::{Arc, RwLock};
+
+thread_local! {
+    /// Per-thread reusable scratch: pool workers are persistent, so this
+    /// amortizes to zero allocations per query at steady state.
+    static SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
+
+/// Write-once result slots shared with pool workers. Disjointness is
+/// guaranteed by the pool's item claiming: each index is handed to exactly
+/// one task invocation, and the pool's completion barrier orders all
+/// writes before the submitter reads.
+struct ResultSlots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: see above — indices are written by their unique claimant only.
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    fn new(n: usize) -> Self {
+        Self((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// Must be called at most once per index, with no concurrent access
+    /// to the same index.
+    unsafe fn put(&self, i: usize, value: T) {
+        *self.0[i].get() = Some(value);
+    }
+
+    fn into_results(self) -> Vec<T> {
+        self.0
+            .into_iter()
+            .map(|c| c.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
 
 /// Thread-count and determinism knobs for the parallel search paths.
 #[derive(Clone, Copy, Debug)]
@@ -164,8 +205,8 @@ impl Snapshot {
         }
     }
 
-    /// One query, segments scanned **in parallel** by a scoped worker
-    /// pool. Per-segment results are merged in segment order on the
+    /// One query, segments scanned **in parallel** by the persistent
+    /// worker pool. Per-segment results are merged in segment order on the
     /// calling thread, so the answer is bit-identical for every
     /// `opts.threads` (including serial).
     pub fn search_parallel(
@@ -183,31 +224,13 @@ impl Snapshot {
                 .map(|si| self.search_segment_seeded(si, 0, query, k, nprobe, opts.seed))
                 .collect()
         } else {
-            let mut slots: Vec<Option<SearchResult>> = (0..n_segments).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let mut remaining: &mut [Option<SearchResult>] = &mut slots;
-                let per = n_segments.div_ceil(threads);
-                let mut next = 0usize;
-                while !remaining.is_empty() {
-                    let take = per.min(remaining.len());
-                    let (mine, rest) = remaining.split_at_mut(take);
-                    remaining = rest;
-                    let first = next;
-                    next += take;
-                    scope.spawn(move || {
-                        for (off, slot) in mine.iter_mut().enumerate() {
-                            let si = first + off;
-                            *slot = Some(
-                                self.search_segment_seeded(si, 0, query, k, nprobe, opts.seed),
-                            );
-                        }
-                    });
-                }
+            let slots = ResultSlots::new(n_segments);
+            WorkerPool::global().run(n_segments, threads - 1, |si| {
+                let res = self.search_segment_seeded(si, 0, query, k, nprobe, opts.seed);
+                // SAFETY: the pool claims each `si` exactly once.
+                unsafe { slots.put(si, res) };
             });
-            slots
-                .into_iter()
-                .map(|r| r.expect("every segment scanned"))
-                .collect()
+            slots.into_results()
         };
 
         let mut top = TopK::new(k);
@@ -231,11 +254,13 @@ impl Snapshot {
     }
 
     /// Batch search: `queries` is a flat `n × dim` buffer; returns one
-    /// [`SearchResult`] per query, in query order. Queries are distributed
-    /// over `opts.threads` scoped workers, each reusing one
-    /// [`SearchScratch`] across all its queries and segments — the
-    /// allocation-free path. Results are bit-identical for every thread
-    /// count (per-(query, segment) seeded RNGs, merge in segment order).
+    /// [`SearchResult`] per query, in query order. Queries are claimed
+    /// dynamically by up to `opts.threads` participants of the persistent
+    /// [`WorkerPool`] (submitter included), each reusing its thread-local
+    /// [`SearchScratch`] across all queries, segments, and batches — the
+    /// allocation-free path without per-call thread startup. Results are
+    /// bit-identical for every thread count (per-(query, segment) seeded
+    /// RNGs, merge in segment order).
     pub fn search_many(
         &self,
         queries: &[f32],
@@ -253,42 +278,25 @@ impl Snapshot {
         }
         let threads = opts.threads.max(1).min(n);
         if threads <= 1 {
-            let mut scratch = SearchScratch::new();
-            return (0..n)
-                .map(|qi| self.search_one_seeded(qi, queries, k, nprobe, opts.seed, &mut scratch))
-                .collect();
+            return SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                (0..n)
+                    .map(|qi| {
+                        self.search_one_seeded(qi, queries, k, nprobe, opts.seed, &mut scratch)
+                    })
+                    .collect()
+            });
         }
-        let mut slots: Vec<Option<SearchResult>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut remaining: &mut [Option<SearchResult>] = &mut slots;
-            let per = n.div_ceil(threads);
-            let mut next = 0usize;
-            while !remaining.is_empty() {
-                let take = per.min(remaining.len());
-                let (mine, rest) = remaining.split_at_mut(take);
-                remaining = rest;
-                let first = next;
-                next += take;
-                scope.spawn(move || {
-                    let mut scratch = SearchScratch::new();
-                    for (off, slot) in mine.iter_mut().enumerate() {
-                        let qi = first + off;
-                        *slot = Some(self.search_one_seeded(
-                            qi,
-                            queries,
-                            k,
-                            nprobe,
-                            opts.seed,
-                            &mut scratch,
-                        ));
-                    }
-                });
-            }
+        let slots = ResultSlots::new(n);
+        WorkerPool::global().run(n, threads - 1, |qi| {
+            let res = SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                self.search_one_seeded(qi, queries, k, nprobe, opts.seed, &mut scratch)
+            });
+            // SAFETY: the pool claims each `qi` exactly once.
+            unsafe { slots.put(qi, res) };
         });
-        slots
-            .into_iter()
-            .map(|r| r.expect("every query answered"))
-            .collect()
+        slots.into_results()
     }
 
     /// Full fan-out for query `qi` with deterministic per-segment RNGs.
@@ -385,6 +393,27 @@ impl CollectionReader {
     /// The latest published snapshot (an `Arc` clone — O(1)).
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.slot.load()
+    }
+
+    /// Live vectors in the latest snapshot (memtable + segments). The
+    /// serving layer's `/stats` accessor — no writer lock involved.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether the latest snapshot holds no live vectors.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Sealed segments in the latest snapshot.
+    pub fn n_segments(&self) -> usize {
+        self.snapshot().n_segments()
+    }
+
+    /// Rows visible in the latest snapshot's frozen memtable view.
+    pub fn memtable_len(&self) -> usize {
+        self.snapshot().memtable_len()
     }
 
     /// Serial search over the latest snapshot (the
