@@ -631,6 +631,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         workers: flags.usize_or("workers", 8)?,
         default_k: flags.usize_or("k", 10)?,
         default_nprobe: flags.usize_or("nprobe", 32)?,
+        max_k: flags.usize_or("max-k", 4096)?,
+        max_nprobe: flags.usize_or("max-nprobe", 65536)?,
         ..rabitq_serve::ServeConfig::default()
     };
     config.batch.max_batch = flags.usize_or("max-batch", 64)?;

@@ -23,11 +23,19 @@
 //!   admitted **is still executed and answered**: the shutdown flag and
 //!   the queue live under one mutex, so a request is either rejected or
 //!   fully served — never silently dropped.
+//! * A panic while executing a batch is confined to that batch: it is
+//!   caught, every slot in the batch is answered with
+//!   [`SubmitError::Failed`] (HTTP `500`), and the worker keeps serving.
+//!   Should the worker thread die anyway, a drop guard answers every
+//!   queued request with `Failed` and flags the worker dead so later
+//!   submissions fail fast — a submitter never blocks on a worker that
+//!   can no longer answer.
 
 use crate::metrics::ServerMetrics;
 use rabitq_ivf::SearchResult;
 use rabitq_store::{CollectionReader, ParallelOptions};
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -60,13 +68,16 @@ impl Default for BatchConfig {
     }
 }
 
-/// Why a submission was rejected.
+/// Why a submission was rejected or failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SubmitError {
     /// Admission queue is at `queue_depth` — shed, retry later (`429`).
     Overloaded,
     /// The server is draining for shutdown (`503`).
     ShuttingDown,
+    /// Batch execution panicked, or the batch worker died (`500`). The
+    /// request was admitted but could not be answered with a result.
+    Failed,
 }
 
 /// One admitted search waiting for its batch.
@@ -79,13 +90,35 @@ struct Pending {
 
 /// The rendezvous a submitter blocks on.
 struct Slot {
-    result: Mutex<Option<SearchResult>>,
+    result: Mutex<Option<Result<SearchResult, SubmitError>>>,
     ready: Condvar,
+}
+
+impl Slot {
+    /// Fills the slot (first write wins) and wakes the submitter.
+    fn answer(&self, value: Result<SearchResult, SubmitError>) {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(value);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Whether the slot is still waiting for an answer.
+    fn is_empty(&self) -> bool {
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+    }
 }
 
 struct State {
     queue: VecDeque<Pending>,
     shutdown: bool,
+    /// The batch worker exited (normally or by panic); nothing will drain
+    /// the queue anymore.
+    worker_dead: bool,
 }
 
 struct Shared {
@@ -117,6 +150,7 @@ impl Batcher {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutdown: false,
+                worker_dead: false,
             }),
             work: Condvar::new(),
             config,
@@ -153,6 +187,9 @@ impl Batcher {
             if state.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
+            if state.worker_dead {
+                return Err(SubmitError::Failed);
+            }
             if state.queue.len() >= self.shared.config.queue_depth {
                 return Err(SubmitError::Overloaded);
             }
@@ -169,7 +206,7 @@ impl Batcher {
         while result.is_none() {
             result = slot.ready.wait(result).unwrap_or_else(|e| e.into_inner());
         }
-        Ok(result.take().expect("slot filled"))
+        result.take().expect("slot filled")
     }
 
     /// Requests queued right now (test/stats hook).
@@ -196,7 +233,7 @@ impl Batcher {
     pub fn shutdown(mut self) {
         self.initiate_shutdown();
         if let Some(worker) = self.worker.take() {
-            worker.join().expect("batch worker panicked");
+            worker.join().ok();
         }
     }
 }
@@ -210,9 +247,28 @@ impl Drop for Batcher {
     }
 }
 
+/// Answers every queued request with `Failed` and flags the worker dead
+/// when the batch worker exits — by clean shutdown (queue already empty)
+/// or by a panic that escaped the per-batch isolation. Without this, a
+/// submitter blocked on its slot would wait forever.
+struct DeadWorkerGuard<'a>(&'a Shared);
+
+impl Drop for DeadWorkerGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.worker_dead = true;
+        let orphans: Vec<Pending> = state.queue.drain(..).collect();
+        drop(state);
+        for p in orphans {
+            p.slot.answer(Err(SubmitError::Failed));
+        }
+    }
+}
+
 /// The batch worker: drain → linger → group → execute, until shutdown
 /// with an empty queue.
 fn batch_loop(shared: &Shared) {
+    let _guard = DeadWorkerGuard(shared);
     let config = &shared.config;
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     loop {
@@ -248,7 +304,23 @@ fn batch_loop(shared: &Shared) {
         let batch: Vec<Pending> = state.queue.drain(..take).collect();
         drop(state);
 
-        execute(shared, batch);
+        // Panic isolation: a panic inside search execution (bad index
+        // state, assertion in search_many, …) must not kill the worker —
+        // that would strand every queued and future submitter.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, &batch)));
+        if outcome.is_err() {
+            eprintln!(
+                "rabitq-batcher: batch of {} panicked; answering with Failed",
+                batch.len()
+            );
+        }
+        // Whatever happened — panic mid-batch or a result-count mismatch —
+        // every slot gets answered; unfilled ones with `Failed`.
+        for p in &batch {
+            if p.slot.is_empty() {
+                p.slot.answer(Err(SubmitError::Failed));
+            }
+        }
 
         state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
     }
@@ -256,7 +328,7 @@ fn batch_loop(shared: &Shared) {
 
 /// Runs one drained batch: group by `(k, nprobe)`, one `search_many` per
 /// group, answer every slot.
-fn execute(shared: &Shared, batch: Vec<Pending>) {
+fn execute(shared: &Shared, batch: &[Pending]) {
     if batch.is_empty() {
         return;
     }
@@ -285,10 +357,7 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
         };
         let results = snapshot.search_many(&queries, k, nprobe, opts);
         for (&i, result) in members.iter().zip(results) {
-            let slot = &batch[i].slot;
-            let mut guard = slot.result.lock().unwrap_or_else(|e| e.into_inner());
-            *guard = Some(result);
-            slot.ready.notify_one();
+            batch[i].slot.answer(Ok(result));
         }
     }
 }
@@ -378,6 +447,32 @@ mod tests {
         assert!(shed > 0, "expected at least one shed, got {outcomes:?}");
         assert!(served > 0, "expected at least one served");
         assert_eq!(shed + served, 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_batch_answers_failed_and_worker_survives() {
+        let dir = std::env::temp_dir().join(format!("batcher-panic-{}", std::process::id()));
+        let (_collection, reader) = test_reader(&dir, 4, 16);
+        let batcher = Batcher::start(
+            reader,
+            BatchConfig {
+                linger: Duration::ZERO,
+                search_threads: 1,
+                ..BatchConfig::default()
+            },
+            Arc::new(ServerMetrics::new()),
+        );
+        // A 3-float query against a dim-4 collection trips search_many's
+        // "n × dim" assertion inside the batch worker.
+        assert!(matches!(
+            batcher.submit(vec![0.0; 3], 1, 2),
+            Err(SubmitError::Failed)
+        ));
+        // The worker survived the panic: a valid submission still works.
+        let res = batcher.submit(vec![0.0; 4], 1, 2).unwrap();
+        assert_eq!(res.neighbors.len(), 1);
+        batcher.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -199,9 +199,19 @@ impl<S: Read + Write> HttpConn<S> {
 
     fn fill(&mut self) -> io::Result<usize> {
         let mut chunk = [0u8; READ_CHUNK];
-        let n = self.stream.read(&mut chunk)?;
-        self.buf.extend_from_slice(&chunk[..n]);
-        Ok(n)
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                // EINTR is a retry, not a timeout: counting it toward the
+                // 408/idle budgets would turn stray signals into spurious
+                // timeout ticks.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Parses the head at `..head_end`, then reads the body to completion.
@@ -254,7 +264,7 @@ impl<S: Read + Write> HttpConn<S> {
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
         e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
     )
 }
 
@@ -303,6 +313,7 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
     }
 
     let mut content_length = None;
+    let mut has_transfer_encoding = false;
     let mut chunked = false;
     let mut keep_alive = http11;
     for (name, value) in &headers {
@@ -311,10 +322,18 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
                 let n: usize = value
                     .parse()
                     .map_err(|_| HttpError::new(400, "invalid content-length"))?;
+                // Conflicting duplicates are a request-smuggling surface
+                // behind a proxy that picks the other one — hard 400.
+                if content_length.is_some_and(|prev| prev != n) {
+                    return Err(HttpError::new(400, "conflicting content-length headers"));
+                }
                 content_length = Some(n);
             }
             "transfer-encoding" => {
-                chunked = true;
+                has_transfer_encoding = true;
+                if value.to_ascii_lowercase().contains("chunked") {
+                    chunked = true;
+                }
             }
             "connection" => {
                 let v = value.to_ascii_lowercase();
@@ -326,6 +345,14 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
             }
             _ => {}
         }
+    }
+    // Transfer-Encoding + Content-Length is the classic smuggling vector
+    // (RFC 9112 §6.1: treat as an error); reject rather than pick one.
+    if has_transfer_encoding && content_length.is_some() {
+        return Err(HttpError::new(
+            400,
+            "transfer-encoding and content-length are mutually exclusive",
+        ));
     }
 
     let path = target.split('?').next().unwrap_or(target).to_string();
@@ -350,6 +377,7 @@ mod tests {
         input: VecDeque<Vec<u8>>,
         output: Vec<u8>,
         timeout_once: bool,
+        interrupt_once: bool,
     }
 
     impl FakeStream {
@@ -358,12 +386,17 @@ mod tests {
                 input: chunks.iter().map(|c| c.to_vec()).collect(),
                 output: Vec::new(),
                 timeout_once: false,
+                interrupt_once: false,
             }
         }
     }
 
     impl Read for FakeStream {
         fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_once {
+                self.interrupt_once = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+            }
             match self.input.pop_front() {
                 Some(chunk) => {
                     let n = chunk.len().min(out.len());
@@ -507,6 +540,57 @@ mod tests {
             panic!("expected error, got {out:?}");
         };
         assert_eq!(e.status, 411);
+    }
+
+    #[test]
+    fn identity_transfer_encoding_is_not_chunked() {
+        // "identity" is not chunked: parses as a body-less request
+        // instead of a 411.
+        let out = read_one(
+            &[b"GET /x HTTP/1.1\r\ntransfer-encoding: identity\r\n\r\n"],
+            64,
+        );
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn smuggling_shaped_heads_are_rejected_with_400() {
+        // Transfer-Encoding alongside Content-Length, and conflicting
+        // duplicate Content-Length values.
+        for head in [
+            &b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 4\r\n\r\nabcd"[..],
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: identity\r\ncontent-length: 4\r\n\r\nabcd",
+            b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nabcd",
+        ] {
+            let out = read_one(&[head], 64);
+            let ReadOutcome::Error(e) = out else {
+                panic!("expected error for {head:?}, got {out:?}");
+            };
+            assert_eq!(e.status, 400);
+        }
+        // Identical duplicates are harmless and accepted.
+        let out = read_one(
+            &[b"POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nabcd"],
+            64,
+        );
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_timeouts() {
+        let mut stream = FakeStream::new(&[b"GET /x HTTP/1.1\r\n\r\n"]);
+        stream.interrupt_once = true;
+        let out = HttpConn::new(stream).read_request(64);
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request after EINTR retry, got {out:?}");
+        };
+        assert_eq!(req.path, "/x");
     }
 
     #[test]

@@ -140,11 +140,16 @@ fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
         Ok(q) => q,
         Err(msg) => return Response::error(400, &msg),
     };
-    let k = match optional_usize(&body, "k", state.config.default_k) {
+    let k = match optional_usize(&body, "k", state.config.default_k, state.config.max_k) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let nprobe = match optional_usize(&body, "nprobe", state.config.default_nprobe) {
+    let nprobe = match optional_usize(
+        &body,
+        "nprobe",
+        state.config.default_nprobe,
+        state.config.max_nprobe,
+    ) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
@@ -171,6 +176,9 @@ fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                     .shed_unavailable
                     .fetch_add(1, Ordering::Relaxed);
                 return Response::error(503, "server is shutting down");
+            }
+            Err(SubmitError::Failed) => {
+                return Response::error(500, "search execution failed");
             }
         }
     } else {
@@ -201,14 +209,18 @@ fn search_json(result: &SearchResult) -> Json {
     }
 }
 
-fn optional_usize(body: &Json, key: &str, default: usize) -> Result<usize, Response> {
+/// Reads an optional positive integer, bounded by a server-configured
+/// maximum. The bound is load-bearing: `k`/`nprobe` size allocations in
+/// the search path (`TopK` heaps, probe lists), so an unclamped
+/// `{"k": 1e15}` would be a one-request memory bomb.
+fn optional_usize(body: &Json, key: &str, default: usize, max: usize) -> Result<usize, Response> {
     match body.get(key) {
-        None => Ok(default),
+        None => Ok(default.min(max)),
         Some(v) => match v.as_u64() {
-            Some(n) if n > 0 => Ok(n as usize),
+            Some(n) if n > 0 && n <= max as u64 => Ok(n as usize),
             _ => Err(Response::error(
                 400,
-                &format!("\"{key}\" must be a positive integer"),
+                &format!("\"{key}\" must be an integer in 1..={max}"),
             )),
         },
     }

@@ -64,8 +64,16 @@ pub struct ServeConfig {
     pub default_k: usize,
     /// Default `nprobe` when a search request omits it.
     pub default_nprobe: usize,
+    /// Largest `k` a search request may ask for (`400` beyond). Bounds
+    /// the per-request heap allocation in the search path.
+    pub max_k: usize,
+    /// Largest `nprobe` a search request may ask for (`400` beyond).
+    pub max_nprobe: usize,
     /// Per-connection socket read timeout (also the shutdown poll tick).
     pub read_timeout: Duration,
+    /// Per-connection socket write timeout: a client that stops reading
+    /// its response gets disconnected instead of pinning a worker.
+    pub write_timeout: Duration,
     /// Consecutive read-timeout ticks tolerated mid-request before `408`.
     pub partial_timeout_ticks: u32,
     /// Consecutive read-timeout ticks an idle keep-alive connection may
@@ -84,7 +92,10 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             default_k: 10,
             default_nprobe: 32,
+            max_k: 4096,
+            max_nprobe: 65536,
             read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(5),
             partial_timeout_ticks: 20,
             idle_timeout_ticks: 600,
         }
@@ -260,6 +271,12 @@ fn accept_loop(listener: &TcpListener, state: &ServerState, conns: &ConnQueue) {
                 stream.set_nodelay(true).ok();
                 stream
                     .set_read_timeout(Some(state.config.read_timeout))
+                    .ok();
+                // A write timeout too: without it, a client that stops
+                // reading blocks write_all forever once the socket buffer
+                // fills, pinning this worker and hanging shutdown's join.
+                stream
+                    .set_write_timeout(Some(state.config.write_timeout))
                     .ok();
                 let mut q = conns.queue.lock().unwrap_or_else(|e| e.into_inner());
                 if q.0.len() >= state.config.conn_backlog {

@@ -88,6 +88,37 @@ fn unknown_routes_and_methods() {
 }
 
 #[test]
+fn oversized_k_and_nprobe_are_rejected_not_allocated() {
+    let config = ServeConfig {
+        max_k: 100,
+        max_nprobe: 64,
+        ..ServeConfig::default()
+    };
+    let (server, dir) = start_server("clamp", config);
+    let addr = server.addr();
+
+    // A hostile k (would size a ~petabyte TopK heap if it got through)
+    // is a 400, not an allocation.
+    let vec_json = search_body(&row_vector(0, 4), 1, None);
+    let huge_k = vec_json.replace("\"k\":1", "\"k\":1000000000000000");
+    let resp = request(addr, "POST", "/search", &huge_k);
+    assert_eq!(resp.status, 400, "{:?}", resp.body);
+    assert!(resp.body.contains("1..=100"), "{:?}", resp.body);
+
+    let huge_nprobe = vec_json.replace("\"k\":1", "\"k\":1,\"nprobe\":999999");
+    let resp = request(addr, "POST", "/search", &huge_nprobe);
+    assert_eq!(resp.status, 400, "{:?}", resp.body);
+
+    // At the bound is fine.
+    let at_max = vec_json.replace("\"k\":1", "\"k\":100,\"nprobe\":64");
+    let resp = request(addr, "POST", "/search", &at_max);
+    assert_eq!(resp.status, 200, "{:?}", resp.body);
+
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn keep_alive_pipelining_answers_in_order() {
     let (server, dir) = start_server("pipeline", ServeConfig::default());
 
