@@ -28,6 +28,9 @@ pub struct ServerMetrics {
     pub shed_overload: AtomicU64,
     /// Requests answered `503` (shutting down / connection backlog full).
     pub shed_unavailable: AtomicU64,
+    /// Mutations answered `503` because the collection is read-only
+    /// (frozen after a write-path storage fault or by an operator).
+    pub rejected_read_only: AtomicU64,
     /// Vectors inserted.
     pub inserts: AtomicU64,
     /// Tombstones applied.
@@ -57,6 +60,7 @@ impl ServerMetrics {
             server_errors: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             shed_unavailable: AtomicU64::new(0),
+            rejected_read_only: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             search_latency: LatencyHistogram::new(),
@@ -125,6 +129,7 @@ impl ServerMetrics {
             "responses_5xx" => self.server_errors.load(Ordering::Relaxed),
             "shed_overload" => self.shed_overload.load(Ordering::Relaxed),
             "shed_unavailable" => self.shed_unavailable.load(Ordering::Relaxed),
+            "rejected_read_only" => self.rejected_read_only.load(Ordering::Relaxed),
             "inserts" => self.inserts.load(Ordering::Relaxed),
             "deletes" => self.deletes.load(Ordering::Relaxed),
             "search_latency_us" => json_obj! {

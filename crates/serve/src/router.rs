@@ -2,8 +2,8 @@
 //!
 //! | Route | Method | Body | Response |
 //! |---|---|---|---|
-//! | `/healthz` | GET | — | `{"status":"ok"}` |
-//! | `/stats` | GET | — | metrics + per-collection sizes |
+//! | `/healthz` | GET | — | `{"status":"ok"|"degraded","read_only":…,"degraded":…}` |
+//! | `/stats` | GET | — | metrics + per-collection sizes and health |
 //! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?}` | `{"neighbors":[{"id","distance"}…],…}` |
 //! | `/collections/:name/insert` | POST | `{"vector":[…]}` or `{"vectors":[[…]…]}` | `{"ids":[…]}` |
 //! | `/collections/:name/delete` | POST | `{"id":n}` or `{"ids":[…]}` | `{"deleted":n}` |
@@ -13,6 +13,13 @@
 //! and the coalescing batcher) or `"direct"` (execute on the caller's
 //! thread) — defaulting to the server's `batching` config. Direct mode is
 //! the per-request baseline the load harness compares batching against.
+//!
+//! A collection that opened **degraded** (quarantined segments) or froze
+//! **read-only** (write-path storage fault) keeps serving searches;
+//! `/healthz` stays `200` but reports `"degraded"` so orchestrators can
+//! distinguish "up but wounded" from healthy, and mutations against a
+//! read-only collection are answered `503` (retryable elsewhere) rather
+//! than `500`.
 
 use crate::batcher::SubmitError;
 use crate::http::{Request, Response};
@@ -29,7 +36,7 @@ use std::time::Instant;
 pub(crate) fn handle(state: &ServerState, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match segments.as_slice() {
-        ["healthz"] => method(req, "GET", |_| healthz()),
+        ["healthz"] => method(req, "GET", |_| healthz(state)),
         ["stats"] => method(req, "GET", |_| stats(state)),
         ["search"] => method(req, "POST", |r| search(state, default(state), r)),
         ["insert"] => method(req, "POST", |r| insert(state, default(state), r)),
@@ -61,8 +68,28 @@ fn method(req: &Request, want: &str, f: impl FnOnce(&Request) -> Response) -> Re
     }
 }
 
-fn healthz() -> Response {
-    Response::json(200, json_obj! {"status" => "ok"}.encode())
+/// Liveness with nuance: the server keeps answering `200` while any
+/// collection is degraded or read-only — it *is* serving — but the body
+/// says `"degraded"` so a probe can tell wounded from healthy.
+fn healthz(state: &ServerState) -> Response {
+    let mut degraded = false;
+    let mut read_only = false;
+    for served in state.collections.values() {
+        let health = served.reader.health();
+        degraded |= health.degraded;
+        read_only |= health.read_only;
+    }
+    let status = if degraded || read_only {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let body = json_obj! {
+        "status" => status,
+        "degraded" => degraded,
+        "read_only" => read_only
+    };
+    Response::json(200, body.encode())
 }
 
 fn stats(state: &ServerState) -> Response {
@@ -72,6 +99,7 @@ fn stats(state: &ServerState) -> Response {
             .iter()
             .map(|(name, served)| {
                 let snapshot = served.reader.snapshot();
+                let health = served.reader.health();
                 (
                     name.clone(),
                     json_obj! {
@@ -79,7 +107,10 @@ fn stats(state: &ServerState) -> Response {
                         "live_vectors" => snapshot.len(),
                         "segments" => snapshot.n_segments(),
                         "memtable_rows" => snapshot.memtable_len(),
-                        "queued_searches" => served.batcher.queue_len()
+                        "queued_searches" => served.batcher.queue_len(),
+                        "degraded" => health.degraded,
+                        "read_only" => health.read_only,
+                        "quarantined_segments" => health.quarantined_segments
                     },
                 )
             })
@@ -258,8 +289,24 @@ fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
         match writer.insert(row) {
             Ok(id) => ids.push(id),
             Err(e) => {
-                // Ids already inserted are durable; report the failure.
-                return Response::error(500, &format!("insert failed after {}: {e}", ids.len()));
+                drop(writer);
+                // Ids already inserted are durable; count and report them.
+                state
+                    .metrics
+                    .inserts
+                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                let msg = format!("insert failed after {}: {e}", ids.len());
+                return if e.is_read_only() {
+                    // Retryable against a healthy replica, not a server
+                    // bug: the collection froze itself to protect data.
+                    state
+                        .metrics
+                        .rejected_read_only
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::error(503, &msg)
+                } else {
+                    Response::error(500, &msg)
+                };
             }
         }
     }
@@ -300,7 +347,20 @@ fn delete(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
         match writer.delete(id) {
             Ok(true) => deleted += 1,
             Ok(false) => {}
-            Err(e) => return Response::error(500, &format!("delete failed: {e}")),
+            Err(e) => {
+                drop(writer);
+                state.metrics.deletes.fetch_add(deleted, Ordering::Relaxed);
+                let msg = format!("delete failed after {deleted}: {e}");
+                return if e.is_read_only() {
+                    state
+                        .metrics
+                        .rejected_read_only
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::error(503, &msg)
+                } else {
+                    Response::error(500, &msg)
+                };
+            }
         }
     }
     drop(writer);

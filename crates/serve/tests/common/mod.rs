@@ -2,6 +2,10 @@
 //! collection and a deliberately tiny raw-socket HTTP client (the point
 //! is to exercise the server's real parser, not to reuse its code).
 
+// Each integration target compiles its own copy of this module and none
+// uses every helper.
+#![allow(dead_code)]
+
 use rabitq_serve::{Json, ServeConfig, Server};
 use rabitq_store::{Collection, CollectionConfig};
 use std::io::{Read, Write};

@@ -6,18 +6,40 @@
 //! Inserts land in the memtable; when it crosses the configured threshold
 //! it **seals**: the rows are rebuilt into an immutable IVF-RaBitQ
 //! segment, the segment file and then the manifest are written (each via
-//! temp-file + atomic rename), and the WAL is reset.
+//! temp-file + atomic rename + parent-directory fsync), and the WAL is
+//! reset.
 //!
 //! ## Crash recovery
 //! Reopening replays the WAL over the manifest's segment set. The ordering
 //! of the seal makes every crash window harmless:
 //!
 //! * crash before the manifest switch → the WAL still holds the rows; the
-//!   orphaned segment file is never referenced;
+//!   orphaned segment file is garbage-collected on the next open;
 //! * crash between manifest switch and WAL reset → insert records below
 //!   the manifest's `wal_floor` are skipped (already in a segment) and
 //!   delete records re-apply idempotently;
 //! * torn final WAL record → dropped and truncated by [`crate::Wal`].
+//!
+//! ## Fault containment
+//! Durability faults degrade service instead of killing it:
+//!
+//! * a segment that fails its checksum at open is **quarantined** —
+//!   renamed aside (`.quarantined`), dropped from the manifest, noted in
+//!   the health report — and the collection opens **degraded**, serving
+//!   the remaining segments and the memtable;
+//! * a write-path I/O error (torn write, failed fsync, `EIO`, `ENOSPC`)
+//!   flips the collection **read-only**: searches keep working on the
+//!   last consistent state, mutations return the typed
+//!   [`StoreError::ReadOnly`], and a reopen on healthy storage resumes
+//!   writes — in-memory state is never left half-applied;
+//! * stray `*.tmp` staging files and segment files no longer referenced
+//!   by the manifest (crash mid-seal / mid-compaction) are removed on
+//!   open.
+//!
+//! All file access routes through the [`StorageIo`] VFS, which is how the
+//! crash-matrix tests prove the windows above: they fault every single
+//! I/O operation of a workload and assert no acked write is lost, no
+//! record is duplicated, and search still answers.
 //!
 //! ## Read path
 //! Every mutation publishes an immutable [`Snapshot`] — (frozen memtable
@@ -37,7 +59,9 @@
 //! `&mut` borrow.
 
 use crate::compaction::{CompactionPolicy, SegmentStats};
-use crate::manifest::{atomic_write, Manifest, SegmentMeta, MANIFEST_FILE};
+use crate::error::{HealthReport, HealthState, StoreError};
+use crate::io::{atomic_write, disk_io, StorageIo};
+use crate::manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 use crate::memtable::Memtable;
 use crate::memview::MemView;
 use crate::segment::Segment;
@@ -46,12 +70,16 @@ use crate::wal::{Wal, WalRecord};
 use rabitq_core::RabitqConfig;
 use rabitq_ivf::{IvfConfig, IvfRabitq, SearchResult};
 use rand::Rng;
+use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// File name of the write-ahead log within a collection directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Suffix appended to a corrupted segment file when it is quarantined.
+pub const QUARANTINE_SUFFIX: &str = ".quarantined";
 
 /// Tuning for a [`Collection`].
 #[derive(Clone, Debug)]
@@ -101,6 +129,10 @@ pub struct Collection {
     /// [`CollectionReader`].
     slot: Arc<SnapshotSlot>,
     next_id: u32,
+    /// The VFS all durable writes route through.
+    io: Arc<dyn StorageIo>,
+    /// Degraded / read-only flags, shared with detached readers.
+    health: Arc<HealthState>,
 }
 
 /// The manifest entry describing one segment's current state.
@@ -111,26 +143,54 @@ fn segment_meta(segment: &Segment) -> SegmentMeta {
     }
 }
 
+/// Runs a durable-write step; on failure the collection is flipped
+/// read-only (first failure keeps its reason) and the error is returned
+/// typed. Free function so field borrows stay disjoint at call sites.
+fn freeze_on_err<T>(health: &HealthState, what: &str, r: io::Result<T>) -> Result<T, StoreError> {
+    r.map_err(|e| {
+        health.set_read_only(format!("{what}: {e}"));
+        StoreError::Io(e)
+    })
+}
+
 impl Collection {
+    /// Opens the collection at `dir` on the real filesystem; see
+    /// [`Collection::open_with_io`].
+    pub fn open(dir: &Path, config: CollectionConfig) -> io::Result<Self> {
+        Self::open_with_io(dir, config, disk_io())
+    }
+
     /// Opens the collection at `dir`, creating it (and the directory) if
-    /// absent, and replays any WAL left by the last process.
+    /// absent, and replays any WAL left by the last process. Corrupted
+    /// segments are quarantined (the collection opens degraded rather
+    /// than failing); orphaned staging/superseded files are removed.
     ///
     /// For an existing collection the manifest's quantizer configuration
     /// wins over `config.rabitq` — the sealed segments were built with
     /// it, and compaction must keep building with it. The runtime knobs
     /// (`memtable_capacity`, `policy`, `auto_compact`) always come from
     /// `config`.
-    pub fn open(dir: &Path, mut config: CollectionConfig) -> io::Result<Self> {
+    ///
+    /// Only deterministic corruption (checksum mismatch, truncation,
+    /// garbage) triggers quarantine; a transient I/O error reading a
+    /// segment fails the open instead, so a flaky disk can never cause
+    /// data to be dropped from the manifest.
+    pub fn open_with_io(
+        dir: &Path,
+        mut config: CollectionConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> io::Result<Self> {
         assert!(config.dim > 0, "dimension must be positive");
         assert!(
             config.memtable_capacity > 0,
             "memtable capacity must be positive"
         );
         std::fs::create_dir_all(dir)?;
+        let health = Arc::new(HealthState::new());
 
         let manifest_path = dir.join(MANIFEST_FILE);
-        let manifest = if manifest_path.exists() {
-            let mut m = Manifest::load(&manifest_path)?;
+        let mut manifest = if io.file_len(&manifest_path)?.is_some() {
+            let mut m = Manifest::load_with_io(&manifest_path, io.as_ref())?;
             if m.dim != config.dim {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -150,20 +210,99 @@ impl Collection {
             let mut m = Manifest::new(config.dim);
             m.rabitq = config.rabitq;
             m.memtable_capacity = config.memtable_capacity;
-            m.store(&manifest_path)?;
+            m.store_with_io(&manifest_path, io.as_ref())?;
             m
         };
 
+        // Load the segment set, quarantining deterministic corruption:
+        // the damaged file is renamed aside for forensics, the entry is
+        // dropped, and the collection serves what remains (degraded).
         let mut segments = Vec::with_capacity(manifest.segments.len());
+        let mut kept = Vec::with_capacity(manifest.segments.len());
         for meta in &manifest.segments {
-            let segment = Segment::load(&dir.join(&meta.file))?;
-            for &id in &meta.tombstones {
-                segment.delete(id);
+            let path = dir.join(&meta.file);
+            match Segment::load_with_io(&path, io.as_ref()) {
+                Ok(segment) => {
+                    for &id in &meta.tombstones {
+                        segment.delete(id);
+                    }
+                    segments.push(Arc::new(segment));
+                    kept.push(meta.clone());
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    let quarantine = format!("{}{QUARANTINE_SUFFIX}", meta.file);
+                    match io.rename(&path, &dir.join(&quarantine)) {
+                        Ok(()) => {
+                            io.sync_dir(dir).ok();
+                            health.record_quarantine(format!(
+                                "segment {} corrupt ({e}); quarantined as {quarantine}",
+                                meta.file
+                            ));
+                        }
+                        Err(re) => health.record_quarantine(format!(
+                            "segment {} corrupt ({e}); quarantine rename failed: {re}",
+                            meta.file
+                        )),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // Already renamed aside by a crash mid-quarantine, or
+                    // externally removed: either way the rows are gone.
+                    health.record_quarantine(format!(
+                        "segment {} missing ({e}); dropped from manifest",
+                        meta.file
+                    ));
+                }
+                Err(e) => return Err(e),
             }
-            segments.push(Arc::new(segment));
+        }
+        if kept.len() != manifest.segments.len() {
+            manifest.segments = kept;
+            // Best-effort: persist the post-quarantine manifest so later
+            // opens don't re-walk the same damage. Failure just leaves
+            // the drop in memory; the next open re-detects it.
+            if let Err(e) = manifest.store_with_io(&manifest_path, io.as_ref()) {
+                health.note(format!("could not persist post-quarantine manifest: {e}"));
+            }
         }
 
-        let (wal, replay) = Wal::open(&dir.join(WAL_FILE), config.dim)?;
+        // Orphan GC (best-effort): `*.tmp` staging files and segment
+        // files the manifest no longer references are crash leftovers
+        // from mid-seal / mid-compaction; without this they accumulate
+        // forever. Quarantined files are deliberately kept.
+        match io.list_dir(dir) {
+            Ok(names) => {
+                let referenced: HashSet<&str> =
+                    manifest.segments.iter().map(|m| m.file.as_str()).collect();
+                for name in names {
+                    if name == MANIFEST_FILE
+                        || name == WAL_FILE
+                        || name.ends_with(QUARANTINE_SUFFIX)
+                        || referenced.contains(name.as_str())
+                    {
+                        continue;
+                    }
+                    let orphan = name.ends_with(".tmp")
+                        || (name.starts_with("seg-") && name.ends_with(".rbq"));
+                    if orphan {
+                        match io.remove_file(&dir.join(&name)) {
+                            Ok(()) => health.note(format!("removed orphaned file {name}")),
+                            Err(e) => {
+                                health.note(format!("could not remove orphaned file {name}: {e}"))
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => health.note(format!("orphan scan failed: {e}")),
+        }
+
+        let (wal, replay) = Wal::open_with_io(&dir.join(WAL_FILE), config.dim, &io)?;
         let mut memtable = Memtable::new(config.dim);
         let mut mem_view = MemView::new();
         let mut next_id = manifest.next_id;
@@ -210,6 +349,8 @@ impl Collection {
             segments,
             slot,
             next_id,
+            io,
+            health,
         })
     }
 
@@ -259,6 +400,33 @@ impl Collection {
         self.memtable.len()
     }
 
+    /// A point-in-time copy of the collection's health: degraded /
+    /// read-only flags, quarantined-segment count, open-time notes.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// Freezes mutations administratively (maintenance, storage about to
+    /// go away). Mutations return [`StoreError::ReadOnly`] until the
+    /// collection is reopened; searches are unaffected.
+    pub fn set_read_only(&self, reason: &str) {
+        self.health.set_read_only(reason);
+    }
+
+    /// Rejects mutations once the collection froze itself.
+    fn check_writable(&self) -> Result<(), StoreError> {
+        if self.health.is_read_only() {
+            return Err(StoreError::ReadOnly {
+                reason: self
+                    .health
+                    .report()
+                    .read_only_reason
+                    .unwrap_or_else(|| "collection was frozen".into()),
+            });
+        }
+        Ok(())
+    }
+
     /// Publishes the current in-memory state as a fresh immutable
     /// snapshot. O(1) plus one small allocation; called after every
     /// mutation so readers always observe a consistent point-in-time view.
@@ -284,20 +452,37 @@ impl Collection {
         CollectionReader {
             slot: self.slot.clone(),
             dim: self.config.dim,
+            health: self.health.clone(),
         }
     }
 
     /// Appends one vector, returning its permanent id. The write is WAL'd
     /// before it is visible; a seal is triggered when the memtable fills.
-    pub fn insert(&mut self, vector: &[f32]) -> io::Result<u32> {
+    ///
+    /// `Ok(id)` means the row is durable (WAL'd) and visible — even if a
+    /// triggered seal/compaction subsequently failed, in which case the
+    /// collection flips read-only for later mutations but this row
+    /// survives any reopen. An `Err` means the row was *not* acked: it
+    /// is either absent after reopen or dropped with the torn WAL tail.
+    pub fn insert(&mut self, vector: &[f32]) -> Result<u32, StoreError> {
         assert_eq!(vector.len(), self.config.dim, "vector dimensionality");
+        self.check_writable()?;
         let id = self.next_id;
-        self.wal.append_insert(id, vector)?;
+        freeze_on_err(
+            &self.health,
+            "WAL append (insert)",
+            self.wal.append_insert(id, vector),
+        )?;
         self.memtable.insert(id, vector);
         self.mem_view.insert(id, vector);
         self.next_id = self.next_id.checked_add(1).expect("id space exhausted");
         if self.memtable.len() >= self.config.memtable_capacity {
-            self.seal()?; // publishes
+            // The insert itself is durable; a failed seal freezes future
+            // mutations (health carries the cause) but must not retract
+            // this ack.
+            if self.seal().is_err() {
+                self.publish();
+            }
         } else {
             self.publish();
         }
@@ -306,9 +491,14 @@ impl Collection {
 
     /// Tombstones `id` wherever it lives. Returns `false` (and writes
     /// nothing) if the id is unknown or already deleted.
-    pub fn delete(&mut self, id: u32) -> io::Result<bool> {
+    pub fn delete(&mut self, id: u32) -> Result<bool, StoreError> {
+        self.check_writable()?;
         if self.memtable.contains(id) {
-            self.wal.append_delete(id)?;
+            freeze_on_err(
+                &self.health,
+                "WAL append (delete)",
+                self.wal.append_delete(id),
+            )?;
             self.memtable.delete(id);
             self.mem_view.delete(id);
             self.publish();
@@ -317,7 +507,11 @@ impl Collection {
         let Some(seg) = self.segments.iter().position(|s| s.contains_live(id)) else {
             return Ok(false);
         };
-        self.wal.append_delete(id)?;
+        freeze_on_err(
+            &self.health,
+            "WAL append (delete)",
+            self.wal.append_delete(id),
+        )?;
         // The tombstone bitmap is atomic, so this is immediately visible
         // to in-flight snapshots too; republish regardless so the slot
         // always reflects the latest committed state.
@@ -358,8 +552,10 @@ impl Collection {
     /// Ordering is the crash-safety contract: segment file → manifest
     /// switch → WAL reset. In-memory state only changes once both durable
     /// writes succeed, so an I/O error leaves the collection exactly as it
-    /// was (rows still served from the memtable, still covered by the WAL).
-    pub fn seal(&mut self) -> io::Result<()> {
+    /// was (rows still served from the memtable, still covered by the
+    /// WAL) — frozen read-only with the cause in [`Collection::health`].
+    pub fn seal(&mut self) -> Result<(), StoreError> {
+        self.check_writable()?;
         if self.memtable.is_empty() {
             return Ok(());
         }
@@ -374,7 +570,11 @@ impl Collection {
         );
         let mut bytes = Vec::new();
         segment.write(&mut bytes)?;
-        atomic_write(&self.dir.join(&name), &bytes)?;
+        freeze_on_err(
+            &self.health,
+            "segment write (seal)",
+            atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
+        )?;
 
         let mut staged = self.manifest.clone();
         staged.next_segment_seq += 1;
@@ -385,7 +585,11 @@ impl Collection {
             file: name,
             tombstones: Vec::new(),
         });
-        staged.store(&self.dir.join(MANIFEST_FILE))?;
+        freeze_on_err(
+            &self.health,
+            "manifest switch (seal)",
+            staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
+        )?;
 
         // Durable — commit, then let readers see the new segment set.
         self.manifest = staged;
@@ -393,7 +597,10 @@ impl Collection {
         self.memtable.clear();
         self.mem_view.clear();
         self.publish();
-        self.wal.reset()?;
+        // A failed WAL reset is harmless for consistency (records below
+        // the floor are skipped on replay) but freezes the collection:
+        // the log can no longer be trusted to accept appends.
+        freeze_on_err(&self.health, "WAL reset (seal)", self.wal.reset())?;
 
         if self.config.auto_compact {
             self.maybe_compact()?;
@@ -403,7 +610,7 @@ impl Collection {
 
     /// Runs the configured policy; merges whatever it picks. Returns
     /// whether a merge happened.
-    pub fn maybe_compact(&mut self) -> io::Result<bool> {
+    pub fn maybe_compact(&mut self) -> Result<bool, StoreError> {
         let stats: Vec<SegmentStats> = self
             .segments
             .iter()
@@ -422,7 +629,7 @@ impl Collection {
 
     /// Force-merges **all** segments (and reclaims every tombstone) into
     /// one rebuilt index. Returns whether anything changed.
-    pub fn compact(&mut self) -> io::Result<bool> {
+    pub fn compact(&mut self) -> Result<bool, StoreError> {
         let needs = self.segments.len() > 1 || self.segments.iter().any(|s| s.n_live() < s.len());
         if !needs {
             return Ok(false);
@@ -435,8 +642,10 @@ impl Collection {
     /// Merges the segments at `indices` (sorted, deduplicated) into one
     /// new segment holding only their live rows. Ordering mirrors the
     /// seal: new file → manifest switch → old files unlinked; a crash
-    /// anywhere leaves either the old set or the new set referenced.
-    fn compact_indices(&mut self, indices: &[usize]) -> io::Result<()> {
+    /// anywhere leaves either the old set or the new set referenced, and
+    /// the loser's files are orphans the next open removes.
+    fn compact_indices(&mut self, indices: &[usize]) -> Result<(), StoreError> {
+        self.check_writable()?;
         let mut ids = Vec::new();
         let mut data = Vec::new();
         for &i in indices {
@@ -475,7 +684,11 @@ impl Collection {
             );
             let mut bytes = Vec::new();
             segment.write(&mut bytes)?;
-            atomic_write(&self.dir.join(&name), &bytes)?;
+            freeze_on_err(
+                &self.health,
+                "segment write (compaction)",
+                atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
+            )?;
             Some(segment)
         };
 
@@ -496,12 +709,17 @@ impl Collection {
                 tombstones: Vec::new(),
             }))
             .collect();
-        staged.store(&self.dir.join(MANIFEST_FILE))?;
+        freeze_on_err(
+            &self.health,
+            "manifest switch (compaction)",
+            staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
+        )?;
 
         // Durable — commit and publish; the merged-away segments stay
         // alive (in memory) as long as some snapshot still references
         // them, then free via Arc drop. Their files unlink immediately —
-        // in-memory readers never reopen them.
+        // in-memory readers never reopen them, and a failed unlink just
+        // leaves an orphan for the next open's GC.
         self.manifest = staged;
         let mut old_files = Vec::with_capacity(indices.len());
         for &i in indices.iter().rev() {
@@ -512,7 +730,7 @@ impl Collection {
         }
         self.publish();
         for file in old_files {
-            std::fs::remove_file(self.dir.join(file)).ok();
+            self.io.remove_file(&self.dir.join(file)).ok();
         }
         Ok(())
     }

@@ -15,6 +15,8 @@
 //! | [`pool`] | persistent process-wide worker threads behind the parallel paths |
 //! | [`manifest`] | atomic (temp + rename) record of the live segment set |
 //! | [`compaction`] | threshold policy: dead-weight and fan-out pressure |
+//! | [`io`] | the [`StorageIo`] VFS every durable write routes through, plus the [`FaultIo`] fault injector |
+//! | [`error`] | typed mutation errors and the degraded / read-only health surface |
 //! | [`collection`] | the orchestrator tying all of the above together |
 //!
 //! Reads are concurrent with writes: every mutation publishes an
@@ -53,6 +55,8 @@
 
 pub mod collection;
 pub mod compaction;
+pub mod error;
+pub mod io;
 pub mod manifest;
 pub mod memtable;
 pub mod memview;
@@ -61,8 +65,10 @@ pub mod segment;
 pub mod snapshot;
 pub mod wal;
 
-pub use collection::{Collection, CollectionConfig, WAL_FILE};
+pub use collection::{Collection, CollectionConfig, QUARANTINE_SUFFIX, WAL_FILE};
 pub use compaction::{CompactionPolicy, SegmentStats};
+pub use error::{HealthReport, HealthState, StoreError};
+pub use io::{atomic_write, disk_io, DiskIo, FaultIo, FaultKind, FaultScript, LogFile, StorageIo};
 pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use memtable::Memtable;
 pub use memview::MemView;

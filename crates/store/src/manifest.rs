@@ -9,10 +9,11 @@
 //! mixture. Segment files orphaned by a crash between "write new segment"
 //! and "switch manifest" are simply never referenced again.
 
+use crate::io::{atomic_write, DiskIo, StorageIo};
 use rabitq_core::persist as p;
 use rabitq_core::{RabitqConfig, RotatorKind};
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::Path;
 
 /// Section tag in the manifest file header.
 pub const MANIFEST_SECTION: &str = "store-manifest";
@@ -70,9 +71,14 @@ impl Manifest {
         }
     }
 
-    /// Loads the manifest from `path`.
+    /// Loads the manifest from `path` on the real filesystem.
     pub fn load(path: &Path) -> io::Result<Self> {
-        let bytes = std::fs::read(path)?;
+        Self::load_with_io(path, &DiskIo)
+    }
+
+    /// Loads the manifest from `path` through a [`StorageIo`].
+    pub fn load_with_io(path: &Path, io: &dyn StorageIo) -> io::Result<Self> {
+        let bytes = io.read(path)?;
         let mut r = bytes.as_slice();
         let section = p::read_header(&mut r)?;
         if section != MANIFEST_SECTION {
@@ -121,9 +127,16 @@ impl Manifest {
         })
     }
 
-    /// Writes the manifest atomically: serialize to `<path>.tmp`, fsync,
-    /// rename over `path`.
+    /// Writes the manifest atomically to the real filesystem; see
+    /// [`Manifest::store_with_io`].
     pub fn store(&self, path: &Path) -> io::Result<()> {
+        self.store_with_io(path, &DiskIo)
+    }
+
+    /// Writes the manifest atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`, fsync the parent directory (so a crash right
+    /// after the rename cannot resurrect the old manifest).
+    pub fn store_with_io(&self, path: &Path, io: &dyn StorageIo) -> io::Result<()> {
         let mut buf = Vec::new();
         p::write_header(&mut buf, MANIFEST_SECTION)?;
         p::write_usize(&mut buf, self.dim)?;
@@ -148,35 +161,15 @@ impl Manifest {
             p::write_str(&mut buf, &meta.file)?;
             p::write_u32_slice(&mut buf, &meta.tombstones)?;
         }
-        atomic_write(path, &buf)
+        atomic_write(io, path, &buf)
     }
-}
-
-/// Writes `bytes` to `path` via a sibling temp file plus rename, so the
-/// destination is always either absent, the old content, or the complete
-/// new content.
-pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = tmp_sibling(path);
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_data()?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
-fn tmp_sibling(path: &Path) -> PathBuf {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_default();
-    name.push(".tmp");
-    path.with_file_name(name)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::tmp_sibling;
+    use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("rabitq-manifest-{name}-{}", std::process::id()))

@@ -8,7 +8,14 @@
 //! paper's error-bound re-ranking inside the segment, so the distances a
 //! segment reports are exact and the estimator's unbiasedness guarantee is
 //! untouched by the engine layered on top.
+//!
+//! On disk a segment is `[header][payload length][payload][fnv1a]`: the
+//! whole payload (remap table + inner index) is covered by a checksum
+//! verified at open, so a bit-flipped or truncated file is detected
+//! deterministically and the collection can quarantine it instead of
+//! serving silently wrong codes.
 
+use crate::io::{DiskIo, StorageIo};
 use rabitq_core::persist as p;
 use rabitq_core::RabitqConfig;
 use rabitq_ivf::{IvfConfig, IvfRabitq, RerankStrategy, SearchResult, SearchScratch};
@@ -60,15 +67,24 @@ impl Segment {
         }
     }
 
-    /// Serializes the segment (remap table + inner index).
+    /// Serializes the segment: section header, payload length, payload
+    /// (remap table + inner index), and an FNV-1a checksum over the
+    /// payload that [`Segment::read`] verifies.
     pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut payload = Vec::new();
+        p::write_u32_slice(&mut payload, &self.ids)?;
+        self.index.write(&mut payload)?;
+
         p::write_header(w, SEGMENT_SECTION)?;
-        p::write_u32_slice(w, &self.ids)?;
-        self.index.write(w)
+        p::write_u64(w, payload.len() as u64)?;
+        w.write_all(&payload)?;
+        w.write_all(&crate::wal::fnv1a(&payload).to_le_bytes())
     }
 
     /// Deserializes a segment written by [`Segment::write`]; `name` is the
-    /// file name it was read from.
+    /// file name it was read from. Verifies the payload checksum before
+    /// parsing, so corruption anywhere in the file surfaces as an
+    /// `InvalidData` error rather than silently wrong codes.
     pub fn read<R: Read>(r: &mut R, name: String) -> io::Result<Self> {
         let section = p::read_header(r)?;
         if section != SEGMENT_SECTION {
@@ -76,8 +92,26 @@ impl Segment {
                 "expected segment file, got {section:?}"
             )));
         }
-        let ids = p::read_u32_vec(r)?;
-        let index = IvfRabitq::read(r)?;
+        let payload_len = p::read_u64(r)?;
+        if payload_len > 1 << 40 {
+            return Err(p::invalid("unreasonable segment payload length"));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        r.read_exact(&mut payload)?;
+        let mut crc = [0u8; 4];
+        r.read_exact(&mut crc)?;
+        if crate::wal::fnv1a(&payload) != u32::from_le_bytes(crc) {
+            return Err(p::invalid(format!(
+                "segment {name:?} payload checksum mismatch (corrupted file)"
+            )));
+        }
+
+        let mut cursor = payload.as_slice();
+        let ids = p::read_u32_vec(&mut cursor)?;
+        let index = IvfRabitq::read(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(p::invalid("segment payload has trailing bytes"));
+        }
         if index.len() != ids.len() {
             return Err(p::invalid("segment remap table disagrees with index"));
         }
@@ -94,16 +128,20 @@ impl Segment {
         })
     }
 
-    /// Loads a segment from `path`.
+    /// Loads a segment from `path` on the real filesystem.
     pub fn load(path: &Path) -> io::Result<Self> {
+        Self::load_with_io(path, &DiskIo)
+    }
+
+    /// Loads (and checksum-verifies) a segment through a [`StorageIo`].
+    pub fn load_with_io(path: &Path, io: &dyn StorageIo) -> io::Result<Self> {
         let name = path
             .file_name()
             .and_then(|n| n.to_str())
             .ok_or_else(|| p::invalid("segment path has no file name"))?
             .to_string();
-        let file = std::fs::File::open(path)?;
-        let mut r = std::io::BufReader::new(file);
-        Self::read(&mut r, name)
+        let bytes = io.read(path)?;
+        Self::read(&mut bytes.as_slice(), name)
     }
 
     /// File name within the collection directory.
@@ -253,6 +291,31 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let res = restored.search(&data[0..8], 5, 64, &mut rng);
         assert!(res.neighbors.iter().all(|&(id, _)| id != 100));
+    }
+
+    #[test]
+    fn corruption_anywhere_fails_the_checksum() {
+        let (seg, _) = sample_segment(50, 8);
+        let mut pristine = Vec::new();
+        seg.write(&mut pristine).unwrap();
+
+        // A single flipped bit in the payload is caught.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        let err = match Segment::read(&mut flipped.as_slice(), "seg.rbq".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("bit flip went undetected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+
+        // So is a truncated file (torn write of the segment itself).
+        let mut torn = pristine.clone();
+        torn.truncate(torn.len() - 5);
+        assert!(Segment::read(&mut torn.as_slice(), "seg.rbq".into()).is_err());
+
+        // And the pristine bytes still parse.
+        assert!(Segment::read(&mut pristine.as_slice(), "seg.rbq".into()).is_ok());
     }
 
     #[test]

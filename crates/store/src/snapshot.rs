@@ -36,6 +36,8 @@
 //! from a caller seed, so the results are **bit-identical for every
 //! thread count** — the scheduler can never change an answer.
 
+use crate::error::HealthReport;
+use crate::error::HealthState;
 use crate::memview::MemView;
 use crate::pool::WorkerPool;
 use crate::segment::Segment;
@@ -381,6 +383,7 @@ impl SnapshotSlot {
 pub struct CollectionReader {
     pub(crate) slot: Arc<SnapshotSlot>,
     pub(crate) dim: usize,
+    pub(crate) health: Arc<HealthState>,
 }
 
 impl CollectionReader {
@@ -388,6 +391,13 @@ impl CollectionReader {
     #[inline]
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// A point-in-time copy of the collection's health flags (degraded /
+    /// read-only / quarantined segments), shared live with the writer —
+    /// the serving layer reads this without any writer lock.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
     }
 
     /// The latest published snapshot (an `Arc` clone — O(1)).

@@ -6,12 +6,19 @@
 //! framed as `[kind][id][payload][fnv1a-checksum]`; on replay, a torn or
 //! corrupted tail (the classic partial-write crash signature) is detected
 //! by the checksum, dropped, and the file is truncated back to its last
-//! intact record so subsequent appends extend a valid log.
+//! intact record so subsequent appends extend a valid log. If that repair
+//! truncation itself fails (disk error mid-recovery), the file is left
+//! untouched and the open errors — the next open re-detects the same torn
+//! tail and retries, so recovery is idempotent.
+//!
+//! All file access goes through a [`StorageIo`] VFS, so the crash-matrix
+//! tests can fault any individual operation — including the repair.
 
+use crate::io::{atomic_write, disk_io, LogFile, StorageIo};
 use rabitq_core::persist as p;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Section tag in the WAL file header.
 pub const WAL_SECTION: &str = "store-wal";
@@ -39,14 +46,14 @@ pub struct WalReplay {
 /// An open write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    file: File,
+    file: Box<dyn LogFile>,
     dim: usize,
     header_len: u64,
 }
 
 /// 32-bit FNV-1a over a byte slice — cheap, dependency-free corruption
 /// detection for record frames (not cryptographic).
-fn fnv1a(bytes: &[u8]) -> u32 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= b as u32;
@@ -56,28 +63,38 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 }
 
 impl Wal {
+    /// Opens (or creates) the log at `path` on the real filesystem; see
+    /// [`Wal::open_with_io`].
+    pub fn open(path: &Path, dim: usize) -> io::Result<(Self, WalReplay)> {
+        Self::open_with_io(path, dim, &disk_io())
+    }
+
     /// Opens (or creates) the log at `path` for `dim`-dimensional vectors
     /// and replays whatever survived the last process. A torn final record
     /// is tolerated: it is dropped and the file truncated to the last
     /// intact frame. A bad magic or a dimension mismatch is a hard error —
     /// that is the wrong file, not a crash artifact.
-    pub fn open(path: &Path, dim: usize) -> io::Result<(Self, WalReplay)> {
-        if !path.exists() || std::fs::metadata(path)?.len() == 0 {
-            // Fresh log: materialize the header atomically (temp + rename)
-            // so a crash during creation can never leave a partial header
-            // that later opens would reject as a corrupt file.
+    pub fn open_with_io(
+        path: &Path,
+        dim: usize,
+        io: &Arc<dyn StorageIo>,
+    ) -> io::Result<(Self, WalReplay)> {
+        if io.file_len(path)?.unwrap_or(0) == 0 {
+            // Fresh log: materialize the header atomically (temp + rename
+            // + directory fsync) so a crash during creation can never
+            // leave a partial header that later opens would reject as a
+            // corrupt file.
             let mut header = Vec::new();
             p::write_header(&mut header, WAL_SECTION)?;
             p::write_usize(&mut header, dim)?;
-            crate::manifest::atomic_write(path, &header)?;
-            let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-            let header_len = file.seek(SeekFrom::End(0))?;
+            atomic_write(io.as_ref(), path, &header)?;
+            let file = io.open_log(path)?;
             return Ok((
                 Self {
                     path: path.to_path_buf(),
                     file,
                     dim,
-                    header_len,
+                    header_len: header.len() as u64,
                 },
                 WalReplay {
                     records: Vec::new(),
@@ -85,53 +102,41 @@ impl Wal {
                 },
             ));
         }
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
 
-        let mut bytes = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut bytes)?;
-        let mut cursor = bytes.as_slice();
-        let section = p::read_header(&mut cursor)?;
-        if section != WAL_SECTION {
-            return Err(p::invalid(format!("expected WAL file, got {section:?}")));
-        }
-        let file_dim = p::read_usize(&mut cursor)?;
-        if file_dim != dim {
-            return Err(p::invalid(format!(
-                "WAL holds {file_dim}-dimensional vectors, collection expects {dim}"
-            )));
-        }
-        let header_len = (bytes.len() - cursor.len()) as u64;
-
-        let mut records = Vec::new();
-        let mut good = header_len as usize;
-        while good < bytes.len() {
-            match parse_record(&bytes[good..], dim) {
-                Some((record, frame_len)) => {
-                    records.push(record);
-                    good += frame_len;
-                }
-                None => break,
-            }
-        }
+        let bytes = io.read(path)?;
+        let (records, header_len, good) = scan_bytes(&bytes, dim)?;
         let recovered_torn_tail = good < bytes.len();
+        let mut file = io.open_log(path)?;
         if recovered_torn_tail {
-            file.set_len(good as u64)?;
+            // The repair itself can fail; leave the file as-is in that
+            // case so the next open re-runs the same (idempotent) repair.
+            file.truncate(good as u64)?;
         }
-        file.seek(SeekFrom::Start(good as u64))?;
 
         Ok((
             Self {
                 path: path.to_path_buf(),
                 file,
                 dim,
-                header_len,
+                header_len: header_len as u64,
             },
             WalReplay {
                 records,
                 recovered_torn_tail,
             },
         ))
+    }
+
+    /// Reads the log without opening it for writing or repairing it — the
+    /// `verify` scrub path. Reports the intact records and whether a torn
+    /// tail is present (which a read-write [`Wal::open`] would truncate).
+    pub fn scan(path: &Path, dim: usize, io: &dyn StorageIo) -> io::Result<WalReplay> {
+        let bytes = io.read(path)?;
+        let (records, _header_len, good) = scan_bytes(&bytes, dim)?;
+        Ok(WalReplay {
+            recovered_torn_tail: good < bytes.len(),
+            records,
+        })
     }
 
     /// Path of the underlying file.
@@ -162,24 +167,52 @@ impl Wal {
     fn append_frame(&mut self, mut frame: Vec<u8>) -> io::Result<()> {
         let crc = fnv1a(&frame);
         frame.extend_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&frame)?;
-        self.file.flush()
+        self.file.append(&frame)
     }
 
     /// Forces the log to stable storage (`fsync`). Appends only flush to
     /// the OS; call this when a power-loss guarantee is worth the latency.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()
+        self.file.sync()
     }
 
     /// Discards every record, truncating the log back to its header. Done
     /// after the memtable seals: those records are now durable in a
     /// segment file and the (already-renamed) manifest.
     pub fn reset(&mut self) -> io::Result<()> {
-        self.file.set_len(self.header_len)?;
-        self.file.seek(SeekFrom::Start(self.header_len))?;
-        Ok(())
+        self.file.truncate(self.header_len)
     }
+}
+
+/// Parses a WAL image: returns the intact records, the header length,
+/// and the byte offset of the first torn/corrupt frame (== `bytes.len()`
+/// when the whole log is intact).
+fn scan_bytes(bytes: &[u8], dim: usize) -> io::Result<(Vec<WalRecord>, usize, usize)> {
+    let mut cursor = bytes;
+    let section = p::read_header(&mut cursor)?;
+    if section != WAL_SECTION {
+        return Err(p::invalid(format!("expected WAL file, got {section:?}")));
+    }
+    let file_dim = p::read_usize(&mut cursor)?;
+    if file_dim != dim {
+        return Err(p::invalid(format!(
+            "WAL holds {file_dim}-dimensional vectors, collection expects {dim}"
+        )));
+    }
+    let header_len = bytes.len() - cursor.len();
+
+    let mut records = Vec::new();
+    let mut good = header_len;
+    while good < bytes.len() {
+        match parse_record(&bytes[good..], dim) {
+            Some((record, frame_len)) => {
+                records.push(record);
+                good += frame_len;
+            }
+            None => break,
+        }
+    }
+    Ok((records, header_len, good))
 }
 
 /// Parses one record frame from `bytes`; `None` means a torn/corrupt tail.
@@ -214,6 +247,7 @@ fn parse_record(bytes: &[u8], dim: usize) -> Option<(WalRecord, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::DiskIo;
 
     fn tmp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("rabitq-wal-{name}-{}.log", std::process::id()))
@@ -261,6 +295,12 @@ mod tests {
         // Simulate a crash mid-write: chop 3 bytes off the final record.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        // A read-only scan sees the damage without repairing it.
+        let scanned = Wal::scan(&path, 2, &DiskIo).unwrap();
+        assert!(scanned.recovered_torn_tail);
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(std::fs::read(&path).unwrap().len(), bytes.len() - 3);
 
         let (mut wal, replay) = Wal::open(&path, 2).unwrap();
         assert!(replay.recovered_torn_tail);
