@@ -291,11 +291,20 @@ fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
             Err(e) => {
                 drop(writer);
                 // Ids already inserted are durable; count and report them.
+                // The error body carries them so a client can resume from
+                // the failure point instead of replaying the whole batch
+                // (which would duplicate the committed rows).
                 state
                     .metrics
                     .inserts
                     .fetch_add(ids.len() as u64, Ordering::Relaxed);
-                let msg = format!("insert failed after {}: {e}", ids.len());
+                let ids_json =
+                    Json::Arr(ids.iter().map(|&id| Json::from(u64::from(id))).collect());
+                let body = json_obj! {
+                    "error" => format!("insert failed after {}: {e}", ids.len()),
+                    "inserted_ids" => ids_json
+                }
+                .encode();
                 return if e.is_read_only() {
                     // Retryable against a healthy replica, not a server
                     // bug: the collection froze itself to protect data.
@@ -303,9 +312,9 @@ fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                         .metrics
                         .rejected_read_only
                         .fetch_add(1, Ordering::Relaxed);
-                    Response::error(503, &msg)
+                    Response::json(503, body)
                 } else {
-                    Response::error(500, &msg)
+                    Response::json(500, body)
                 };
             }
         }

@@ -219,6 +219,11 @@ impl Collection {
         // dropped, and the collection serves what remains (degraded).
         let mut segments = Vec::with_capacity(manifest.segments.len());
         let mut kept = Vec::with_capacity(manifest.segments.len());
+        // Corrupt files whose quarantine rename failed: they keep their
+        // seg-*.rbq name yet leave the manifest, so the orphan GC below
+        // must be told to leave them alone — deleting them would turn a
+        // transient rename failure into permanent loss of the evidence.
+        let mut quarantine_failed: HashSet<String> = HashSet::new();
         for meta in &manifest.segments {
             let path = dir.join(&meta.file);
             match Segment::load_with_io(&path, io.as_ref()) {
@@ -244,10 +249,13 @@ impl Collection {
                                 meta.file
                             ));
                         }
-                        Err(re) => health.record_quarantine(format!(
-                            "segment {} corrupt ({e}); quarantine rename failed: {re}",
-                            meta.file
-                        )),
+                        Err(re) => {
+                            quarantine_failed.insert(meta.file.clone());
+                            health.record_quarantine(format!(
+                                "segment {} corrupt ({e}); quarantine rename failed: {re}",
+                                meta.file
+                            ));
+                        }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
@@ -284,6 +292,7 @@ impl Collection {
                         || name == WAL_FILE
                         || name.ends_with(QUARANTINE_SUFFIX)
                         || referenced.contains(name.as_str())
+                        || quarantine_failed.contains(name.as_str())
                     {
                         continue;
                     }

@@ -89,6 +89,17 @@ pub fn tmp_sibling(path: &Path) -> PathBuf {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DiskIo;
 
+/// Whether an error from opening/fsyncing a directory means the platform
+/// cannot fsync directories (harmless) rather than a real I/O failure.
+/// `EINVAL` (22) and `ENOTSUP`/`EOPNOTSUPP` (95) are what Unix
+/// filesystems without directory fsync report; `PermissionDenied` covers
+/// Windows, where directories cannot be opened as files at all.
+fn dir_sync_unsupported(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Unsupported
+        || e.kind() == io::ErrorKind::PermissionDenied
+        || matches!(e.raw_os_error(), Some(22) | Some(95))
+}
+
 struct DiskLog {
     file: File,
 }
@@ -131,12 +142,19 @@ impl StorageIo for DiskIo {
 
     fn sync_dir(&self, dir: &Path) -> io::Result<()> {
         // Opening a directory read-only and fsyncing it is the POSIX way
-        // to make its entries (renames, creates, unlinks) durable. On
-        // platforms where directories cannot be fsynced this is a no-op
-        // rather than an error — the rename atomicity still holds.
-        match File::open(dir) {
-            Ok(f) => f.sync_all().or(Ok(())),
-            Err(_) => Ok(()),
+        // to make its entries (renames, creates, unlinks) durable. Only
+        // platforms that genuinely cannot do this get a pass — a real
+        // error (EIO, missing directory) propagates, because it means the
+        // rename may not survive power loss after all.
+        let file = match File::open(dir) {
+            Ok(f) => f,
+            Err(e) if dir_sync_unsupported(&e) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match file.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) if dir_sync_unsupported(&e) => Ok(()),
+            Err(e) => Err(e),
         }
     }
 

@@ -13,7 +13,9 @@
 //! whole payload (remap table + inner index) is covered by a checksum
 //! verified at open, so a bit-flipped or truncated file is detected
 //! deterministically and the collection can quarantine it instead of
-//! serving silently wrong codes.
+//! serving silently wrong codes. The original checksum-less layout
+//! (tagged [`SEGMENT_SECTION_V1`]) is still readable for segments
+//! written by older releases.
 
 use crate::io::{DiskIo, StorageIo};
 use rabitq_core::persist as p;
@@ -24,8 +26,16 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-/// Section tag in a segment file header.
-pub const SEGMENT_SECTION: &str = "store-segment";
+/// Section tag written by current segments: the checksummed
+/// `[header][payload length][payload][fnv1a]` layout.
+pub const SEGMENT_SECTION: &str = "store-segment-v2";
+
+/// Section tag of the original format — bare `[header][payload]` with no
+/// length prefix or checksum. Still readable: files written by older
+/// releases load (without checksum verification) instead of being
+/// misparsed as corruption and quarantined; they adopt the current
+/// format the next time compaction rewrites them.
+pub const SEGMENT_SECTION_V1: &str = "store-segment";
 
 /// One immutable segment of the collection.
 pub struct Segment {
@@ -87,6 +97,14 @@ impl Segment {
     /// `InvalidData` error rather than silently wrong codes.
     pub fn read<R: Read>(r: &mut R, name: String) -> io::Result<Self> {
         let section = p::read_header(r)?;
+        if section == SEGMENT_SECTION_V1 {
+            // Legacy layout: the payload follows the header directly, with
+            // nothing to checksum-verify. Corruption inside it still
+            // surfaces as `InvalidData` from the inner parsers.
+            let ids = p::read_u32_vec(r)?;
+            let index = IvfRabitq::read(r)?;
+            return Self::from_parts(name, ids, index);
+        }
         if section != SEGMENT_SECTION {
             return Err(p::invalid(format!(
                 "expected segment file, got {section:?}"
@@ -96,8 +114,19 @@ impl Segment {
         if payload_len > 1 << 40 {
             return Err(p::invalid("unreasonable segment payload length"));
         }
-        let mut payload = vec![0u8; payload_len as usize];
-        r.read_exact(&mut payload)?;
+        // Read through `take` rather than allocating `payload_len` up
+        // front: a corrupt length field must surface as `InvalidData`
+        // (so quarantine can run), not as a huge allocation aborting
+        // the process. The buffer only ever grows to the bytes that
+        // actually exist.
+        let mut payload = Vec::new();
+        r.by_ref().take(payload_len).read_to_end(&mut payload)?;
+        if payload.len() as u64 != payload_len {
+            return Err(p::invalid(format!(
+                "segment {name:?} payload truncated ({} of {payload_len} bytes)",
+                payload.len()
+            )));
+        }
         let mut crc = [0u8; 4];
         r.read_exact(&mut crc)?;
         if crate::wal::fnv1a(&payload) != u32::from_le_bytes(crc) {
@@ -112,6 +141,12 @@ impl Segment {
         if !cursor.is_empty() {
             return Err(p::invalid("segment payload has trailing bytes"));
         }
+        Self::from_parts(name, ids, index)
+    }
+
+    /// Assembles a parsed segment, validating the remap/index agreement
+    /// shared by both on-disk formats.
+    fn from_parts(name: String, ids: Vec<u32>, index: IvfRabitq) -> io::Result<Self> {
         if index.len() != ids.len() {
             return Err(p::invalid("segment remap table disagrees with index"));
         }
@@ -316,6 +351,35 @@ mod tests {
 
         // And the pristine bytes still parse.
         assert!(Segment::read(&mut pristine.as_slice(), "seg.rbq".into()).is_ok());
+    }
+
+    #[test]
+    fn legacy_v1_segments_still_load() {
+        let (seg, data) = sample_segment(80, 8);
+        // The pre-checksum layout: header, then the payload directly.
+        let mut v1 = Vec::new();
+        p::write_header(&mut v1, SEGMENT_SECTION_V1).unwrap();
+        p::write_u32_slice(&mut v1, &seg.ids).unwrap();
+        seg.index.write(&mut v1).unwrap();
+
+        let restored = Segment::read(&mut v1.as_slice(), "seg-legacy.rbq".into()).unwrap();
+        assert_eq!(restored.len(), 80);
+        let mut rng = StdRng::seed_from_u64(3);
+        let res = restored.search(&data[0..8], 1, 64, &mut rng);
+        assert_eq!(res.neighbors[0].0, 100); // local 0 → global 100
+    }
+
+    #[test]
+    fn corrupt_length_field_is_invalid_data_not_a_huge_allocation() {
+        let mut evil = Vec::new();
+        p::write_header(&mut evil, SEGMENT_SECTION).unwrap();
+        p::write_u64(&mut evil, 1 << 39).unwrap(); // 512 GiB claimed
+        evil.extend_from_slice(&[0u8; 16]); // ...16 bytes present
+        let err = match Segment::read(&mut evil.as_slice(), "seg.rbq".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt length field went undetected"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
     }
 
     #[test]
