@@ -28,7 +28,7 @@ fn bench_kernels(c: &mut Criterion) {
     for &dim in &[128usize, 960] {
         let n = 1024;
         let (set, packed, query, lut) = setup(dim, n);
-        let mut group = c.benchmark_group(format!("ip-kernels/D={dim}"));
+        let mut group = c.benchmark_group(&format!("ip-kernels/D={dim}"));
         group.throughput(Throughput::Elements(n as u64));
 
         group.bench_function(BenchmarkId::new("bitwise-single", n), |b| {

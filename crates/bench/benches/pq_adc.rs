@@ -15,7 +15,7 @@ fn bench_pq_adc(c: &mut Criterion) {
     let data = rabitq_math::rng::standard_normal_vec(&mut rng, n * dim);
     let query = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
 
-    let mut group = c.benchmark_group(format!("pq-adc/D={dim}"));
+    let mut group = c.benchmark_group(&format!("pq-adc/D={dim}"));
     group.throughput(Throughput::Elements(n as u64));
 
     // ---- x8-single: M = D/2, 8-bit codes, f32 LUTs in RAM. ----

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 
 fn bench_query_prep(c: &mut Criterion) {
     for &dim in &[128usize, 960] {
-        let mut group = c.benchmark_group(format!("query-prep/D={dim}"));
+        let mut group = c.benchmark_group(&format!("query-prep/D={dim}"));
         let mut rng = StdRng::seed_from_u64(5);
         let residual = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
 

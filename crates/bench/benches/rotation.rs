@@ -9,7 +9,7 @@ use rand::SeedableRng;
 
 fn bench_rotation(c: &mut Criterion) {
     for &dim in &[128usize, 960] {
-        let mut group = c.benchmark_group(format!("rotation/D={dim}"));
+        let mut group = c.benchmark_group(&format!("rotation/D={dim}"));
         let mut rng = StdRng::seed_from_u64(3);
         let input = rabitq_math::rng::standard_normal_vec(&mut rng, dim);
         for (name, kind) in [

@@ -1,0 +1,147 @@
+//! **Extension benchmark** — raw fastscan kernel throughput per SIMD level.
+//!
+//! Sweeps dim ∈ {64, 128, 768, 1024} × every kernel the host can run
+//! (scalar reference, AVX2, AVX-512, NEON — see
+//! `rabitq_core::fastscan::raw`), measuring codes scanned per second on
+//! the 32-code packed-block layout with RaBitQ-range LUT entries. Each
+//! kernel's output is asserted bit-identical to the scalar reference
+//! before it is timed, so the numbers can only come from a correct kernel.
+//!
+//! Results print as a table and land in one JSON object (default
+//! `BENCH_kernels.json`) with the host's `cpu_features`/`cores` so
+//! archived artifacts from different machines stay comparable.
+//!
+//! ```text
+//! cargo run --release -p rabitq-bench --bin kernel_bench -- \
+//!     --n 20000 --ms 200 --out BENCH_kernels.json
+//! ```
+
+use rabitq_bench::{hw, Args, Table};
+use rabitq_core::fastscan::{raw, BLOCK, MAX_U8_LUT_ENTRY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("n", 20_000);
+    let ms = args.usize("ms", 200);
+    let seed = args.u64("seed", 42);
+    let out_path = args.str("out", "BENCH_kernels.json");
+
+    let kernels = raw::supported_kernels();
+    let kernel_names: Vec<&str> = kernels.iter().map(|k| k.name()).collect();
+    println!("# Extension: fastscan kernel throughput per SIMD level");
+    println!(
+        "# n = {n} codes, window = {ms} ms, kernels = [{}], active = {}\n",
+        kernel_names.join(", "),
+        hw::active_kernel()
+    );
+
+    let dims = [64usize, 128, 768, 1024];
+    let mut table = Table::new(&["dim", "kernel", "codes/sec", "vs scalar"]);
+    // (dim, kernel name, codes/sec, speedup) rows for the JSON artifact.
+    let mut rows: Vec<(usize, &str, f64, f64)> = Vec::new();
+
+    for &dim in &dims {
+        let segments = dim / 4;
+        let mut rng = StdRng::seed_from_u64(seed ^ dim as u64);
+        let blocks = raw::pack_nibbles(n, segments, |_, _| rng.gen::<u8>() & 0x0F);
+        let lut: Vec<u8> = (0..segments * 16)
+            .map(|_| (rng.gen::<u32>() % (MAX_U8_LUT_ENTRY + 1)) as u8)
+            .collect();
+        let n_blocks = n.div_ceil(BLOCK);
+        let block_at = |b: usize| -> &[u8] { &blocks[b * segments * 16..(b + 1) * segments * 16] };
+
+        // Scalar reference outputs, for the bit-identity gate.
+        let reference: Vec<[u32; BLOCK]> = (0..n_blocks)
+            .map(|b| {
+                let mut out = [0u32; BLOCK];
+                raw::scan_u8_scalar(block_at(b), &lut, segments, &mut out);
+                out
+            })
+            .collect();
+
+        let mut scalar_rate = 0.0f64;
+        for &kernel in &kernels {
+            // Correctness first: every block must match the scalar pass.
+            let mut out = [0u32; BLOCK];
+            for (b, expect) in reference.iter().enumerate() {
+                raw::scan_u8_with(
+                    kernel,
+                    block_at(b),
+                    &lut,
+                    segments,
+                    MAX_U8_LUT_ENTRY,
+                    &mut out,
+                );
+                assert_eq!(
+                    &out,
+                    expect,
+                    "{} kernel diverged from scalar at dim {dim} block {b}",
+                    kernel.name()
+                );
+            }
+
+            // Timed passes over the whole set until the window elapses.
+            let window = Duration::from_millis(ms as u64);
+            let start = Instant::now();
+            let mut scanned = 0u64;
+            let mut sink = 0u32;
+            while start.elapsed() < window {
+                for b in 0..n_blocks {
+                    raw::scan_u8_with(
+                        kernel,
+                        block_at(b),
+                        &lut,
+                        segments,
+                        MAX_U8_LUT_ENTRY,
+                        &mut out,
+                    );
+                    sink = sink.wrapping_add(out[0]);
+                }
+                scanned += n as u64;
+            }
+            std::hint::black_box(sink);
+            let rate = scanned as f64 / start.elapsed().as_secs_f64();
+            if kernel == raw::Kernel::Scalar {
+                scalar_rate = rate;
+            }
+            let speedup = rate / scalar_rate;
+            table.row(&[
+                format!("{dim}"),
+                kernel.name().into(),
+                format!("{rate:.3e}"),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push((dim, kernel.name(), rate, speedup));
+        }
+    }
+    table.print();
+    for &(dim, name, _, speedup) in &rows {
+        if dim >= 128 && name != "scalar" && speedup <= 1.0 {
+            println!("warning: {name} did not beat scalar at dim {dim} ({speedup:.2}x)");
+        }
+    }
+
+    // --- JSON artifact -----------------------------------------------------
+    let result_objs: Vec<String> = rows
+        .iter()
+        .map(|&(dim, name, rate, speedup)| {
+            format!(
+                "    {{\"dim\": {dim}, \"kernel\": \"{name}\", \
+                 \"codes_per_sec\": {rate:.1}, \"speedup_over_scalar\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_bench\",\n  \"n\": {n},\n  \"window_ms\": {ms},\n  \
+         {hw},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        hw = hw::json_fields(),
+        results = result_objs.join(",\n"),
+    );
+    let mut file = std::fs::File::create(&out_path).expect("create bench json");
+    file.write_all(json.as_bytes()).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

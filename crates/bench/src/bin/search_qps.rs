@@ -232,13 +232,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"search_qps\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \
          \"queries\": {n_queries},\n  \"k\": {k},\n  \"nprobe\": {nprobe},\n  \
-         \"segments\": {segs},\n  \"threads\": {threads},\n  \
+         \"segments\": {segs},\n  \"threads\": {threads},\n  {hw},\n  \
          \"qps_serial\": {qps_serial:.2},\n  \"qps_search_many_1t\": {qps_many_1:.2},\n  \
          \"qps_search_many_mt\": {qps_many_t:.2},\n  \"speedup_mt_over_1t\": {speedup:.3},\n  \
          \"bit_identical\": {bit_identical},\n  \
          \"allocs_per_query_before_scratch\": {allocs_before:.2},\n  \
          \"allocs_per_query_after_scratch\": {allocs_after:.2}\n}}\n",
         segs = collection.n_segments(),
+        hw = rabitq_bench::hw::json_fields(),
     );
     let mut file = std::fs::File::create(&out_path).expect("create bench json");
     file.write_all(json.as_bytes()).expect("write bench json");

@@ -175,6 +175,14 @@ fn main() {
         "nprobe" => nprobe,
         "max_batch" => max_batch,
         "linger_us" => linger_us,
+        "cpu_features" => Json::Arr(
+            rabitq_bench::hw::cpu_features()
+                .into_iter()
+                .map(Json::from)
+                .collect()
+        ),
+        "cores" => rabitq_bench::hw::cores(),
+        "kernel" => rabitq_bench::hw::active_kernel(),
         "direct" => direct.to_json(),
         "batched" => batched.to_json(),
         "saturation" => sat.to_json(),

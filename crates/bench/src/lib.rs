@@ -8,6 +8,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod cli;
+pub mod hw;
 pub mod table;
 pub mod testbed;
 

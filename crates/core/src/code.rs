@@ -12,6 +12,16 @@
 //! Codes are stored struct-of-arrays so that scans stream through the bit
 //! words without dragging the factors into cache, and so that the fast-scan
 //! packer can re-layout the bits independently.
+//!
+//! Beyond the raw factors, `push` precomputes the query-independent terms
+//! the estimator needs per (query, code) pair — `1/⟨ō,o⟩`, `‖o_r − c‖²`,
+//! and the `ε₀`-independent confidence half-width of Eq. 16 — so the batch
+//! estimate reduces to an affine map over the kernel outputs with no
+//! division or `sqrt` in the scan loop. The derived columns are never
+//! persisted: [`CodeSet::read`] recomputes them, keeping the on-disk
+//! format unchanged.
+
+use crate::estimator;
 
 /// Per-vector precomputed factors used by the distance estimator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,6 +44,10 @@ pub struct CodeSet {
     norms: Vec<f32>,
     ip_oos: Vec<f32>,
     popcounts: Vec<u32>,
+    // Derived, query-independent estimator columns (recomputed on read).
+    norms_sq: Vec<f32>,
+    inv_ip_oos: Vec<f32>,
+    err_bases: Vec<f32>,
 }
 
 impl CodeSet {
@@ -53,6 +67,9 @@ impl CodeSet {
             norms: Vec::new(),
             ip_oos: Vec::new(),
             popcounts: Vec::new(),
+            norms_sq: Vec::new(),
+            inv_ip_oos: Vec::new(),
+            err_bases: Vec::new(),
         }
     }
 
@@ -63,6 +80,9 @@ impl CodeSet {
         s.norms.reserve(n);
         s.ip_oos.reserve(n);
         s.popcounts.reserve(n);
+        s.norms_sq.reserve(n);
+        s.inv_ip_oos.reserve(n);
+        s.err_bases.reserve(n);
         s
     }
 
@@ -98,6 +118,10 @@ impl CodeSet {
         self.norms.push(norm);
         self.ip_oos.push(ip_oo);
         self.popcounts.push(popcount);
+        self.norms_sq.push(norm * norm);
+        self.inv_ip_oos.push(estimator::inv_ip_oo(ip_oo));
+        self.err_bases
+            .push(estimator::error_base(ip_oo, self.padded_dim));
     }
 
     /// The bit words of code `i`.
@@ -120,6 +144,26 @@ impl CodeSet {
     #[inline]
     pub fn norms(&self) -> &[f32] {
         &self.norms
+    }
+
+    /// All popcounts (set-bit count per code).
+    #[inline]
+    pub fn popcounts(&self) -> &[u32] {
+        &self.popcounts
+    }
+
+    /// Struct-of-arrays factor columns for codes `start..start + len`, in
+    /// the layout [`estimator::estimate_block`] consumes.
+    #[inline]
+    pub fn factor_slices(&self, start: usize, len: usize) -> estimator::FactorSlices<'_> {
+        let end = start + len;
+        estimator::FactorSlices {
+            norms: &self.norms[start..end],
+            norms_sq: &self.norms_sq[start..end],
+            inv_ip_oos: &self.inv_ip_oos[start..end],
+            err_bases: &self.err_bases[start..end],
+            popcounts: &self.popcounts[start..end],
+        }
     }
 
     /// Bit `d` of code `i` (dimension `d` of the sign string).
@@ -166,6 +210,15 @@ impl CodeSet {
         if bits.len() != n * words_per_code || ip_oos.len() != n || popcounts.len() != n {
             return Err(p::invalid("code set arrays disagree on length"));
         }
+        // The derived estimator columns are not part of the format;
+        // recompute them with the same ops `push` uses so a loaded set is
+        // bit-identical to a freshly built one.
+        let norms_sq = norms.iter().map(|&v| v * v).collect();
+        let inv_ip_oos = ip_oos.iter().map(|&v| estimator::inv_ip_oo(v)).collect();
+        let err_bases = ip_oos
+            .iter()
+            .map(|&v| estimator::error_base(v, padded_dim))
+            .collect();
         Ok(Self {
             padded_dim,
             words_per_code,
@@ -173,6 +226,9 @@ impl CodeSet {
             norms,
             ip_oos,
             popcounts,
+            norms_sq,
+            inv_ip_oos,
+            err_bases,
         })
     }
 

@@ -50,24 +50,107 @@ pub struct DistanceEstimate {
 /// factors in scan order without touching the bit storage.
 pub type Factors = CodeFactors;
 
-/// The confidence half-width on `⟨o,q⟩` for a code with alignment `ip_oo`
-/// and code length `padded_dim`, at confidence parameter `epsilon0`
-/// (Eq. 16). Independent of the query.
+/// The query-independent reciprocal alignment `1/max(⟨ō,o⟩, ε)` — the
+/// estimator divides by `⟨ō,o⟩` once per (query, code) pair, so the batch
+/// path precomputes the reciprocal at encode time and multiplies instead.
 #[inline]
-pub fn ip_confidence_halfwidth(ip_oo: f32, padded_dim: usize, epsilon0: f32) -> f32 {
+pub fn inv_ip_oo(ip_oo: f32) -> f32 {
+    1.0 / ip_oo.max(MIN_IP_OO)
+}
+
+/// The `ε₀`-independent part of the Eq. 16 confidence half-width:
+/// `√((1−⟨ō,o⟩²)/(⟨ō,o⟩²·(B−1)))`. Query-independent, so it is
+/// precomputed per code at encode time — this removes the `sqrt` the
+/// estimator used to pay per (query, code) pair.
+#[inline]
+pub fn error_base(ip_oo: f32, padded_dim: usize) -> f32 {
     let ip = ip_oo.max(MIN_IP_OO);
     let ratio = ((1.0 - ip * ip).max(0.0)) / (ip * ip);
-    epsilon0 * (ratio / (padded_dim as f32 - 1.0)).sqrt()
+    (ratio / (padded_dim as f32 - 1.0)).sqrt()
+}
+
+/// The confidence half-width on `⟨o,q⟩` for a code with alignment `ip_oo`
+/// and code length `padded_dim`, at confidence parameter `epsilon0`
+/// (Eq. 16). Independent of the query; `epsilon0 · error_base` exactly,
+/// so a precomputed [`error_base`] reproduces this bit-for-bit.
+#[inline]
+pub fn ip_confidence_halfwidth(ip_oo: f32, padded_dim: usize, epsilon0: f32) -> f32 {
+    epsilon0 * error_base(ip_oo, padded_dim)
+}
+
+/// Query-side coefficients of the estimator's affine map, computed once
+/// per (query, code length) pair. Eq. 20 recovers `⟨x̄, q̄⟩` as
+/// `a·⟨x̄_b,q̄_u⟩ + b·popcount + c`, and Eq. 2 turns `⟨o,q⟩` into a squared
+/// distance through `base − cross·⟨o,q⟩` — every per-code quantity the
+/// scan loop needs is one fused multiply-add away from the kernel output.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryTerms {
+    /// `2Δ/√B` — coefficient of the kernel output.
+    pub a: f32,
+    /// `2v_l/√B` — coefficient of the code popcount.
+    pub b: f32,
+    /// `−Δ/√B·Σq̄_u − √B·v_l` — the per-query constant.
+    pub c: f32,
+    /// `‖q_r − c‖²` — the query half of the distance identity.
+    pub q_dist_sq: f32,
+    /// `2‖q_r − c‖` — the cross term is `two_q_dist · norm`.
+    pub two_q_dist: f32,
+}
+
+impl QueryTerms {
+    /// Precomputes the coefficients for one quantized query.
+    #[inline]
+    pub fn new(query: &QuantizedQuery, padded_dim: usize) -> Self {
+        let sqrt_b = (padded_dim as f32).sqrt();
+        let inv_sqrt_b = 1.0 / sqrt_b;
+        Self {
+            a: 2.0 * query.delta * inv_sqrt_b,
+            b: 2.0 * query.v_l * inv_sqrt_b,
+            c: -(query.delta * inv_sqrt_b * query.sum_qu as f32) - sqrt_b * query.v_l,
+            q_dist_sq: query.q_dist * query.q_dist,
+            two_q_dist: 2.0 * query.q_dist,
+        }
+    }
+
+    /// Recovers `⟨x̄, q̄⟩` from the integer kernel output (Eq. 20).
+    #[inline]
+    pub fn ip_quantized(&self, ip_bin: u32, popcount: u32) -> f32 {
+        self.a * ip_bin as f32 + self.b * popcount as f32 + self.c
+    }
 }
 
 /// Recovers `⟨x̄, q̄⟩` from the integer kernel output (Eq. 20).
 #[inline]
 pub fn ip_quantized(ip_bin: u32, popcount: u32, query: &QuantizedQuery, padded_dim: usize) -> f32 {
-    let sqrt_b = (padded_dim as f32).sqrt();
-    let inv_sqrt_b = 1.0 / sqrt_b;
-    2.0 * query.delta * inv_sqrt_b * ip_bin as f32 + 2.0 * query.v_l * inv_sqrt_b * popcount as f32
-        - query.delta * inv_sqrt_b * query.sum_qu as f32
-        - sqrt_b * query.v_l
+    QueryTerms::new(query, padded_dim).ip_quantized(ip_bin, popcount)
+}
+
+/// The shared per-code estimator body. Every public entry point — the
+/// single-code [`estimate`] and the batch [`estimate_block`] — funnels
+/// through this exact instruction sequence, which is what makes their
+/// outputs bit-identical (SIMD lanes perform the same IEEE-754 ops as the
+/// scalar loop).
+#[inline(always)]
+fn estimate_core(
+    ip_xq: f32,
+    inv_oo: f32,
+    err_base: f32,
+    norm: f32,
+    norm_sq: f32,
+    terms: &QueryTerms,
+    epsilon0: f32,
+) -> DistanceEstimate {
+    let ip_est = ip_xq * inv_oo;
+    let ip_error = epsilon0 * err_base;
+    let cross = terms.two_q_dist * norm;
+    let base = norm_sq + terms.q_dist_sq;
+    DistanceEstimate {
+        dist_sq: base - cross * ip_est,
+        lower_bound: (base - cross * (ip_est + ip_error)).max(0.0),
+        upper_bound: base - cross * (ip_est - ip_error),
+        ip_est,
+        ip_error,
+    }
 }
 
 /// Full estimator: kernel output + per-code factors → distance estimate
@@ -80,18 +163,67 @@ pub fn estimate(
     padded_dim: usize,
     epsilon0: f32,
 ) -> DistanceEstimate {
-    let ip_xq = ip_quantized(ip_bin, factors.popcount, query, padded_dim);
-    let ip_oo = factors.ip_oo.max(MIN_IP_OO);
-    let ip_est = ip_xq / ip_oo;
-    let ip_error = ip_confidence_halfwidth(factors.ip_oo, padded_dim, epsilon0);
-    let cross = 2.0 * factors.norm * query.q_dist;
-    let base = factors.norm * factors.norm + query.q_dist * query.q_dist;
-    DistanceEstimate {
-        dist_sq: base - cross * ip_est,
-        lower_bound: (base - cross * (ip_est + ip_error)).max(0.0),
-        upper_bound: base - cross * (ip_est - ip_error),
-        ip_est,
-        ip_error,
+    let terms = QueryTerms::new(query, padded_dim);
+    estimate_core(
+        terms.ip_quantized(ip_bin, factors.popcount),
+        inv_ip_oo(factors.ip_oo),
+        error_base(factors.ip_oo, padded_dim),
+        factors.norm,
+        factors.norm * factors.norm,
+        &terms,
+        epsilon0,
+    )
+}
+
+/// Struct-of-arrays view of the per-code factor columns for one contiguous
+/// code range, in scan order. Produced by
+/// [`crate::code::CodeSet::factor_slices`].
+#[derive(Clone, Copy, Debug)]
+pub struct FactorSlices<'a> {
+    /// `‖o_r − c‖` per code.
+    pub norms: &'a [f32],
+    /// `‖o_r − c‖²` per code (precomputed at encode time).
+    pub norms_sq: &'a [f32],
+    /// `1/max(⟨ō,o⟩, ε)` per code (precomputed; see [`inv_ip_oo`]).
+    pub inv_ip_oos: &'a [f32],
+    /// [`error_base`] per code (precomputed).
+    pub err_bases: &'a [f32],
+    /// Set-bit count per code.
+    pub popcounts: &'a [u32],
+}
+
+/// Batch estimator over one block of kernel outputs: the affine map
+/// `dist = base − cross·((a·ip_bin + b·pop + c)·inv_ip_oo)` applied
+/// column-wise over struct-of-arrays factors — no division, no `sqrt`,
+/// no per-code branching, so the loop autovectorizes. Results are
+/// bit-identical to calling [`estimate`] per code.
+pub fn estimate_block(
+    ip_bins: &[u32],
+    factors: FactorSlices<'_>,
+    terms: &QueryTerms,
+    epsilon0: f32,
+    out: &mut [DistanceEstimate],
+) {
+    let n = ip_bins.len();
+    assert!(
+        factors.norms.len() == n
+            && factors.norms_sq.len() == n
+            && factors.inv_ip_oos.len() == n
+            && factors.err_bases.len() == n
+            && factors.popcounts.len() == n
+            && out.len() == n,
+        "factor columns out of sync with kernel outputs"
+    );
+    for i in 0..n {
+        out[i] = estimate_core(
+            terms.ip_quantized(ip_bins[i], factors.popcounts[i]),
+            factors.inv_ip_oos[i],
+            factors.err_bases[i],
+            factors.norms[i],
+            factors.norms_sq[i],
+            terms,
+            epsilon0,
+        );
     }
 }
 

@@ -344,6 +344,11 @@ impl Rabitq {
     /// single `resize` and then overwritten in place, so a reused buffer
     /// at steady state is written exactly once per element and the call
     /// performs no heap allocation.
+    ///
+    /// The kernel function pointer and the query-side affine terms of
+    /// Eq. 20 are resolved once up front; each block is then one SIMD
+    /// scan followed by the autovectorized affine map of
+    /// [`estimator::estimate_block`] over the precomputed factor columns.
     pub fn estimate_batch_with_lut(
         &self,
         query: &QuantizedQuery,
@@ -356,15 +361,19 @@ impl Rabitq {
         debug_assert_eq!(packed.len(), set.len());
         out.resize(set.len(), DistanceEstimate::default());
         let mut buf = [0u32; BLOCK];
-        let padded = self.padded_dim();
+        let terms = estimator::QueryTerms::new(query, self.padded_dim());
+        let scanner = packed.scanner(lut);
         for b in 0..packed.n_blocks() {
-            packed.scan_block(b, lut, &mut buf);
+            scanner.scan_block(b, &mut buf);
             let start = b * BLOCK;
             let take = BLOCK.min(set.len() - start);
-            for (off, &ip_bin) in buf[..take].iter().enumerate() {
-                out[start + off] =
-                    estimator::estimate(ip_bin, set.factors(start + off), query, padded, epsilon0);
-            }
+            estimator::estimate_block(
+                &buf[..take],
+                set.factor_slices(start, take),
+                &terms,
+                epsilon0,
+                &mut out[start..start + take],
+            );
         }
     }
 }

@@ -78,10 +78,17 @@ impl PqPacked {
         // re-zeroed first (mirrors `rabitq_core::PackedCodes::scan_all`).
         out.resize(self.n, 0.0);
         let mut buf = [0u32; BLOCK];
+        // Resolve the SIMD kernel once for the whole scan, not per block.
+        // PQ LUT entries span the full u8 range, so max_entry is 255 (the
+        // selector demotes to scalar if m·255 could overflow the u16
+        // accumulators of the wide kernels).
+        let scan = raw::select_scan_u8(self.m, 255);
         for b in 0..self.n_blocks() {
             let base = b * self.m * 16;
             let block = &self.blocks[base..base + self.m * 16];
-            raw::scan_u8(block, &luts.entries, self.m, 255, &mut buf);
+            // SAFETY: `select_scan_u8` only returns kernels whose ISA
+            // requirements were verified by runtime feature detection.
+            unsafe { scan(block, &luts.entries, self.m, &mut buf) };
             let start = b * BLOCK;
             let take = BLOCK.min(self.n - start);
             for (slot, &acc) in out[start..start + take].iter_mut().zip(buf.iter()) {

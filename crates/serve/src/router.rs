@@ -298,8 +298,7 @@ fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                     .metrics
                     .inserts
                     .fetch_add(ids.len() as u64, Ordering::Relaxed);
-                let ids_json =
-                    Json::Arr(ids.iter().map(|&id| Json::from(u64::from(id))).collect());
+                let ids_json = Json::Arr(ids.iter().map(|&id| Json::from(u64::from(id))).collect());
                 let body = json_obj! {
                     "error" => format!("insert failed after {}: {e}", ids.len()),
                     "inserted_ids" => ids_json
