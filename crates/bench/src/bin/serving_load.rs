@@ -14,6 +14,12 @@
 //!    deliberately tiny admission queue — measures shed rate (`429`s)
 //!    and that everything still drains cleanly.
 //!
+//! After phases 1 + 2 the harness also scrapes `/metrics` raw off the
+//! socket, validates it against the exposition-format checker, checks
+//! that the pipeline-stage seconds reconcile with the edge latency the
+//! server observed, and saves the scrape as an artifact (default
+//! `BENCH_serving_metrics.prom`, override with `--metrics-out`).
+//!
 //! Latency percentiles are exact (client-side, every request recorded).
 //! Results go to stdout and one JSON object (default
 //! `BENCH_serving.json`).
@@ -44,6 +50,7 @@ fn main() {
     let linger_us = args.u64("linger-us", 100);
     let seed = args.u64("seed", 42);
     let out_path = args.str("out", "BENCH_serving.json");
+    let metrics_out = args.str("metrics-out", "BENCH_serving_metrics.prom");
 
     let dim = 64usize;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -102,6 +109,30 @@ fn main() {
         .get("batch_size_histogram")
         .cloned()
         .unwrap_or(Json::Arr(Vec::new()));
+
+    // --- Observability check: /metrics must be valid and reconcile --------
+    let scrape = fetch_metrics(addr);
+    let series = rabitq_metrics::prometheus::validate(&scrape)
+        .unwrap_or_else(|e| panic!("/metrics failed exposition-format validation: {e}"));
+    let edge_sum = prom_sum(&scrape, "rabitq_search_latency_seconds_sum");
+    let stage_sum = prom_sum(&scrape, "rabitq_search_stage_seconds_sum{");
+    assert!(
+        stage_sum > 0.0,
+        "stage timers recorded nothing over {series} series"
+    );
+    // Stages are timed per query; segments scan in parallel inside one
+    // query, so summed stage time may exceed wall time by up to the
+    // worker count — but never more.
+    let slack = config.workers as f64;
+    assert!(
+        stage_sum <= edge_sum * slack,
+        "stage seconds {stage_sum:.3} exceed edge seconds {edge_sum:.3} x {slack} workers"
+    );
+    std::fs::write(&metrics_out, &scrape).expect("write metrics artifact");
+    println!(
+        "/metrics: {series} series, stage seconds {stage_sum:.3} vs edge seconds \
+         {edge_sum:.3} -> {metrics_out}\n"
+    );
     server.shutdown();
 
     // --- Phase 3: saturation against a tiny admission queue ---------------
@@ -189,7 +220,10 @@ fn main() {
         "batching_speedup" => batching_gain,
         "mean_batch_size" => mean_batch,
         "batch_size_histogram" => batch_histogram,
-        "saturation_shed_rate" => shed_rate
+        "saturation_shed_rate" => shed_rate,
+        "metrics_series" => series,
+        "stage_seconds_sum" => stage_sum,
+        "edge_seconds_sum" => edge_sum
     };
     std::fs::write(&out_path, json.encode() + "\n").expect("write bench json");
     println!("\nwrote {out_path}");
@@ -325,6 +359,35 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> u16 {
         assert!(n > 0, "server closed mid-response");
         buf.extend_from_slice(&chunk[..n]);
     }
+}
+
+/// Fetches `/metrics` and returns the raw exposition text.
+fn fetch_metrics(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n")
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read metrics");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("metrics head");
+    String::from_utf8(raw[head_end + 4..].to_vec()).expect("utf8 metrics")
+}
+
+/// Sums the values of every sample line starting with `prefix`.
+fn prom_sum(scrape: &str, prefix: &str) -> f64 {
+    scrape
+        .lines()
+        .filter(|l| l.starts_with(prefix))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("unparsable sample line {l:?}"))
+        })
+        .sum()
 }
 
 /// Fetches and parses `/stats`.

@@ -5,49 +5,7 @@
 //! (or a 1-core CI box with a flat `speedup_mt_over_1t`) are
 //! self-explaining and comparable across the trajectory.
 
-use rabitq_core::fastscan::raw;
-
-/// SIMD feature levels detected on this host, in a fixed order.
-///
-/// The list names the ISA extensions the fastscan kernels care about, not
-/// everything CPUID exposes; an empty list means the host runs the scalar
-/// reference only.
-pub fn cpu_features() -> Vec<&'static str> {
-    let mut feats = Vec::new();
-    #[cfg(target_arch = "x86_64")]
-    {
-        if is_x86_feature_detected!("avx2") {
-            feats.push("avx2");
-        }
-        if is_x86_feature_detected!("avx512f") {
-            feats.push("avx512f");
-        }
-        if is_x86_feature_detected!("avx512bw") {
-            feats.push("avx512bw");
-        }
-        if is_x86_feature_detected!("avx512vbmi") {
-            feats.push("avx512vbmi");
-        }
-    }
-    #[cfg(target_arch = "aarch64")]
-    {
-        if std::arch::is_aarch64_feature_detected!("neon") {
-            feats.push("neon");
-        }
-    }
-    feats
-}
-
-/// Available parallelism (1 when the runtime can't tell).
-pub fn cores() -> usize {
-    std::thread::available_parallelism().map_or(1, |p| p.get())
-}
-
-/// The fastscan kernel runtime dispatch settles on for this process
-/// (honours `RABITQ_FORCE_KERNEL`).
-pub fn active_kernel() -> &'static str {
-    raw::active_kernel().name()
-}
+pub use rabitq_core::hw::{active_kernel, cores, cpu_features};
 
 /// `"cpu_features": [...], "cores": N, "kernel": "..."` as a JSON fragment
 /// for the hand-formatted bench artifacts (two-space indented, no trailing
@@ -68,22 +26,6 @@ pub fn json_fields() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn features_are_consistent_with_kernel_dispatch() {
-        let feats = cpu_features();
-        for k in raw::supported_kernels() {
-            match k {
-                raw::Kernel::Scalar => {}
-                raw::Kernel::Avx2 => assert!(feats.contains(&"avx2")),
-                raw::Kernel::Avx512 => {
-                    assert!(feats.contains(&"avx512f") && feats.contains(&"avx512bw"))
-                }
-                raw::Kernel::Neon => assert!(feats.contains(&"neon")),
-            }
-        }
-        assert!(cores() >= 1);
-    }
 
     #[test]
     fn json_fragment_names_both_fields() {

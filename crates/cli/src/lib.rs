@@ -27,12 +27,22 @@
 //! rabitq collection-search  --dir ./coll --queries q.fvecs --k 100 \
 //!                           --nprobe 64 --gt gt.ivecs --out results.ivecs
 //! rabitq serve              --dir ./coll --addr 127.0.0.1:7878 \
-//!                           --workers 8 --max-batch 64 --linger-us 100
+//!                           --workers 8 --max-batch 64 --linger-us 100 \
+//!                           --slow-query-ms 50 --events-capacity 256
+//! rabitq events             --dir ./coll
 //! ```
 //!
 //! `serve` runs the `rabitq-serve` HTTP front end over a collection
 //! until interrupted (or for `--duration-ms` if given): searches are
 //! coalesced through the batching queue, mutations go through the WAL.
+//! `--slow-query-ms N` journals every search slower than `N` ms with
+//! its stage breakdown (default 0 = disabled); `--events-capacity`
+//! bounds each collection's event journal (default 256 events).
+//!
+//! `events` opens a collection read-only and dumps its bounded event
+//! journal — on a fresh open that is the `open` record plus any
+//! quarantines; under `serve` the live journal (seals, compactions,
+//! slow queries, read-only flips) is served by `/stats` instead.
 //!
 //! `collection-search` also exposes the parallel read path:
 //! `--threads N` fans each query's segment scans over `N` workers, and
@@ -77,6 +87,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&flags),
         "collection-search" => cmd_collection_search(&flags),
         "serve" => cmd_serve(&flags),
+        "events" => cmd_events(&flags),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -100,6 +111,7 @@ pub const COMMANDS: &[&str] = &[
     "verify",
     "collection-search",
     "serve",
+    "events",
     "help",
 ];
 
@@ -126,7 +138,12 @@ pub fn usage() -> String {
          \x20 collection-search  query a collection (memtable + segments);\n\
          \x20                    --threads N / --batch for parallel reads\n\
          \x20 serve              HTTP front end over a collection (JSON API,\n\
-         \x20                    batched searches, admission control)\n\
+         \x20                    batched searches, admission control);\n\
+         \x20                    --slow-query-ms N journals searches >= N ms\n\
+         \x20                    (default 0 = off), --events-capacity bounds\n\
+         \x20                    the event journal (default 256)\n\
+         \x20 events             dump a collection's event journal (seals,\n\
+         \x20                    compactions, quarantines, slow queries)\n\
          \n\
          \x20 help               this text\n\
          see crate docs for per-command flags",
@@ -734,6 +751,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     config.batch.max_batch = flags.usize_or("max-batch", 64)?;
     config.batch.linger = std::time::Duration::from_micros(flags.u64_or("linger-us", 100)?);
     config.batch.queue_depth = flags.usize_or("queue-depth", 256)?;
+    config.slow_query_ms = flags.u64_or("slow-query-ms", config.slow_query_ms)?;
+    config.events_capacity = flags.usize_or("events-capacity", config.events_capacity)?;
     let duration_ms = flags.u64_or("duration-ms", 0)?;
 
     let (live, segments) = (collection.len(), collection.n_segments());
@@ -754,6 +773,28 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_millis(duration_ms));
     server.shutdown();
     println!("shut down after {duration_ms} ms");
+    Ok(())
+}
+
+fn cmd_events(flags: &Flags) -> Result<(), String> {
+    let dir = flags.path("dir")?;
+    let collection =
+        Collection::open_existing(&dir).map_err(|e| io_err("opening collection", e))?;
+    let journal = &collection.metrics().journal;
+    let events = journal.recent();
+    println!(
+        "{}: {} event(s) retained ({} recorded, {} evicted)",
+        dir.display(),
+        events.len(),
+        journal.total_recorded(),
+        journal.dropped()
+    );
+    for e in &events {
+        println!(
+            "  #{:<5} ts_ms={:<14} {:<12} {}",
+            e.seq, e.ts_ms, e.kind, e.detail
+        );
+    }
     Ok(())
 }
 
@@ -1187,6 +1228,7 @@ mod tests {
         ]))
         .unwrap();
         // Ephemeral port, bounded run: starts, serves, shuts down clean.
+        // The observability flags parse and are accepted.
         run(&args(&[
             "serve",
             "--dir",
@@ -1195,13 +1237,80 @@ mod tests {
             "127.0.0.1:0",
             "--workers",
             "2",
+            "--slow-query-ms",
+            "25",
+            "--events-capacity",
+            "64",
             "--duration-ms",
             "50",
         ]))
         .unwrap();
+        // A non-numeric observability flag is a clean parse error.
+        let err = run(&args(&[
+            "serve",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--slow-query-ms",
+            "fast",
+            "--duration-ms",
+            "10",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("slow-query-ms"), "{err}");
         // A missing collection is a clean error.
         assert!(run(&args(&[
             "serve",
+            "--dir",
+            dir.join("nonexistent").to_str().unwrap()
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_dumps_the_journal_of_an_existing_collection() {
+        let dir = tmp_dir("events");
+        let data = dir.join("base.fvecs");
+        let coll = dir.join("coll");
+        run(&args(&[
+            "generate",
+            "--dataset",
+            "sift",
+            "--n",
+            "300",
+            "--queries",
+            "2",
+            "--out-data",
+            data.to_str().unwrap(),
+            "--out-queries",
+            dir.join("q.fvecs").to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "ingest",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--data",
+            data.to_str().unwrap(),
+            "--memtable",
+            "100",
+            "--seal",
+        ]))
+        .unwrap();
+        // A fresh open journals at least the "open" record, so the dump
+        // succeeds and has something to show.
+        run(&args(&["events", "--dir", coll.to_str().unwrap()])).unwrap();
+        // And the journal itself is queryable through the same surface
+        // the command prints.
+        let collection = Collection::open_existing(&coll).unwrap();
+        let events = collection.metrics().journal.recent();
+        assert!(events.iter().any(|e| e.kind == "open"), "{events:?}");
+        drop(collection);
+        // A missing collection is a clean error, not a panic.
+        assert!(run(&args(&[
+            "events",
             "--dir",
             dir.join("nonexistent").to_str().unwrap()
         ]))

@@ -28,6 +28,7 @@
 pub mod code;
 pub mod estimator;
 pub mod fastscan;
+pub mod hw;
 pub mod kernels;
 pub mod persist;
 pub mod quantizer;

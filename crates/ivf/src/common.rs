@@ -67,6 +67,9 @@ pub struct SearchResult {
     pub n_estimated: usize,
     /// Candidates re-ranked with an exact distance computation.
     pub n_reranked: usize,
+    /// Per-stage wall-time breakdown of this query (all zeros on paths
+    /// that don't trace, e.g. the PQ baseline).
+    pub stages: rabitq_metrics::StageNanos,
 }
 
 /// Max-heap entry for the bounded top-K (worst on top).

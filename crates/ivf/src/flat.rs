@@ -143,6 +143,7 @@ impl FlatRabitq {
             neighbors: top.into_sorted(),
             n_estimated,
             n_reranked,
+            stages: Default::default(),
         }
     }
 

@@ -230,6 +230,7 @@ impl IvfPq {
                 neighbors: top.into_sorted(),
                 n_estimated,
                 n_reranked: 0,
+                stages: Default::default(),
             };
         }
 
@@ -250,6 +251,7 @@ impl IvfPq {
             neighbors: top.into_sorted(),
             n_estimated,
             n_reranked,
+            stages: Default::default(),
         }
     }
 }

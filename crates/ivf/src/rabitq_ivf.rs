@@ -17,8 +17,10 @@ use crate::common::{IvfConfig, RerankStrategy, SearchResult, TopK};
 use rabitq_core::{CodeSet, DistanceEstimate, PackedCodes, QueryScratch, Rabitq, RabitqConfig};
 use rabitq_kmeans::{train as kmeans_train, KMeans, KMeansConfig};
 use rabitq_math::vecs;
+use rabitq_metrics::{Stage, StageNanos};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// One IVF bucket: original vector ids plus their RaBitQ codes.
 struct Bucket {
@@ -74,6 +76,10 @@ pub struct SearchScratch {
     /// [`SearchResult::neighbors`]. Public so engine layers (e.g. segment
     /// id remapping in `rabitq-store`) can rewrite ids in place.
     pub neighbors: Vec<(u32, f32)>,
+    /// Stage breakdown of the most recent [`IvfRabitq::search_into`] call
+    /// (`Copy`, fixed-size — no allocation). Engine layers accumulate it
+    /// per query across segments and feed the global stage timers.
+    pub stages: StageNanos,
 }
 
 impl SearchScratch {
@@ -87,6 +93,7 @@ impl SearchScratch {
             pool: Vec::new(),
             top: TopK::new(0),
             neighbors: Vec::new(),
+            stages: StageNanos::new(),
         }
     }
 }
@@ -95,6 +102,22 @@ impl Default for SearchScratch {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Closes one traced stage: charges the time since `since` to `stage` and
+/// returns the boundary instant for the next stage. Two clock reads per
+/// stage transition, nothing else — the only cost tracing adds to the hot
+/// path.
+#[inline]
+fn lap(stages: &mut StageNanos, stage: Stage, since: Instant) -> Instant {
+    let now = Instant::now();
+    stages.add_ns(
+        stage,
+        now.duration_since(since)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64,
+    );
+    now
 }
 
 impl IvfRabitq {
@@ -309,6 +332,7 @@ impl IvfRabitq {
             neighbors: std::mem::take(&mut scratch.neighbors),
             n_estimated,
             n_reranked,
+            stages: scratch.stages,
         }
     }
 
@@ -330,14 +354,20 @@ impl IvfRabitq {
     ) -> (usize, usize) {
         assert_eq!(query.len(), self.dim, "query dimensionality");
         scratch.neighbors.clear();
+        scratch.stages.clear();
         if self.is_empty() || k == 0 {
             return (0, 0);
         }
         let padded = self.quantizer.padded_dim();
+        // Stage tracing: `Instant::now()` is a vDSO clock read — no
+        // syscall, no allocation — so the hot path stays allocation-free
+        // with tracing always on (see `tests/alloc_free.rs`).
+        let mut t = Instant::now();
         self.quantizer
             .rotate_into(query, &mut scratch.rotated_query);
         self.coarse
             .assign_top_n_into(query, nprobe.max(1), &mut scratch.probes);
+        t = lap(&mut scratch.stages, Stage::Rotate, t);
 
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
@@ -362,6 +392,7 @@ impl IvfRabitq {
                         &mut scratch.query,
                         rng,
                     );
+                    t = lap(&mut scratch.stages, Stage::LutBuild, t);
                     self.quantizer.estimate_batch_with_lut(
                         scratch.query.query(),
                         scratch.query.lut(),
@@ -370,6 +401,7 @@ impl IvfRabitq {
                         epsilon0,
                         &mut scratch.estimates,
                     );
+                    t = lap(&mut scratch.stages, Stage::Scan, t);
                     n_estimated += scratch.estimates.len();
                     for (est, &id) in scratch.estimates.iter().zip(bucket.ids.iter()) {
                         if self.is_deleted(id) {
@@ -383,6 +415,7 @@ impl IvfRabitq {
                             scratch.top.push(id, exact);
                         }
                     }
+                    t = lap(&mut scratch.stages, Stage::Rerank, t);
                 }
             }
             RerankStrategy::TopCandidates(rerank_n) => {
@@ -400,6 +433,7 @@ impl IvfRabitq {
                         &mut scratch.query,
                         rng,
                     );
+                    t = lap(&mut scratch.stages, Stage::LutBuild, t);
                     self.quantizer.estimate_batch_with_lut(
                         scratch.query.query(),
                         scratch.query.lut(),
@@ -417,6 +451,7 @@ impl IvfRabitq {
                             .filter(|&(_, &id)| !self.is_deleted(id))
                             .map(|(est, &id)| (id, est.dist_sq)),
                     );
+                    t = lap(&mut scratch.stages, Stage::Scan, t);
                 }
                 let take = rerank_n.max(k).min(scratch.pool.len());
                 if take > 0 {
@@ -432,6 +467,7 @@ impl IvfRabitq {
                     n_reranked += 1;
                     scratch.top.push(id, exact);
                 }
+                t = lap(&mut scratch.stages, Stage::Rerank, t);
             }
             RerankStrategy::None => {
                 scratch.top.reset(k);
@@ -448,6 +484,7 @@ impl IvfRabitq {
                         &mut scratch.query,
                         rng,
                     );
+                    t = lap(&mut scratch.stages, Stage::LutBuild, t);
                     self.quantizer.estimate_batch_with_lut(
                         scratch.query.query(),
                         scratch.query.lut(),
@@ -462,10 +499,12 @@ impl IvfRabitq {
                             scratch.top.push(id, est.dist_sq);
                         }
                     }
+                    t = lap(&mut scratch.stages, Stage::Scan, t);
                 }
             }
         }
         scratch.top.drain_sorted_into(&mut scratch.neighbors);
+        lap(&mut scratch.stages, Stage::Merge, t);
         (n_estimated, n_reranked)
     }
 

@@ -84,6 +84,14 @@ fn steady_state_search_makes_zero_heap_allocations() {
         }
     }
 
+    // The observability layer rides along in the measured pass: stage
+    // tracing runs unconditionally inside `search_into`, the per-query
+    // breakdown is folded across queries (as the store's snapshot layer
+    // does per segment), and the aggregate sink records every query —
+    // "allocation-free steady state" includes telemetry.
+    let timers = rabitq_metrics::StageTimers::new();
+    let mut folded = rabitq_metrics::StageNanos::new();
+
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     let mut total_neighbors = 0usize;
@@ -91,6 +99,8 @@ fn steady_state_search_makes_zero_heap_allocations() {
         for qi in 0..ds.n_queries() {
             index.search_into(ds.query(qi), 10, 8, strategy, &mut scratch, &mut rng);
             total_neighbors += scratch.neighbors.len();
+            folded.merge(&scratch.stages);
+            timers.record(&scratch.stages);
         }
     }
     ARMED.store(false, Ordering::SeqCst);
@@ -103,5 +113,14 @@ fn steady_state_search_makes_zero_heap_allocations() {
         "steady-state search_into allocated {allocs} times across \
          {} queries",
         3 * ds.n_queries()
+    );
+    assert!(
+        folded.total_ns() > 0,
+        "stage tracing must attribute time to the measured queries"
+    );
+    assert_eq!(
+        timers.hist(rabitq_metrics::Stage::Scan).count(),
+        3 * ds.n_queries() as u64,
+        "the sink must see one sample per query per stage"
     );
 }

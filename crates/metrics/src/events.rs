@@ -1,0 +1,193 @@
+//! A bounded in-memory journal of structured operational events.
+//!
+//! The store and serving layers push one entry per notable event —
+//! memtable seals, compactions, quarantines, read-only flips, slow
+//! queries — and `/stats` or the `rabitq events` CLI command dump the
+//! recent window. The journal is a ring: it holds the last `capacity`
+//! events, counts what it dropped, and never grows. Pushes take a short
+//! mutex (events are rare — thousands per second would itself be the
+//! incident), so this is deliberately off the per-query hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonically increasing sequence number (never reused, survives
+    /// ring eviction — gaps reveal drops).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at push time.
+    pub ts_ms: u64,
+    /// Stable event kind (e.g. `"seal"`, `"compaction"`, `"quarantine"`,
+    /// `"read_only"`, `"slow_query"`).
+    pub kind: &'static str,
+    /// Human-readable details (free-form, single line by convention).
+    pub detail: String,
+}
+
+struct Inner {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded ring of recent [`Event`]s.
+pub struct EventJournal {
+    inner: Mutex<Inner>,
+}
+
+impl EventJournal {
+    /// A journal keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn push(&self, kind: &'static str, detail: String) {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() >= inner.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Event {
+            seq,
+            ts_ms,
+            kind,
+            detail,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_seq
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Current ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .capacity
+    }
+
+    /// Re-bounds the ring (min 1), evicting oldest entries if shrinking.
+    /// Lets a serving layer apply `--events-capacity` to a journal created
+    /// earlier by the store's open path without losing open-time events.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while inner.buf.len() > capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.capacity = capacity;
+    }
+}
+
+impl Default for EventJournal {
+    /// A journal with a 256-event window.
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_most_recent_window() {
+        let j = EventJournal::new(3);
+        for i in 0..5 {
+            j.push("seal", format!("seal {i}"));
+        }
+        let recent = j.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].detail, "seal 2");
+        assert_eq!(recent[2].detail, "seal 4");
+        assert_eq!(j.total_recorded(), 5);
+        assert_eq!(j.dropped(), 2);
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(recent.iter().map(|e| e.seq).collect::<Vec<_>>(), [2, 3, 4]);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let j = EventJournal::new(8);
+        for i in 0..6 {
+            j.push("compaction", format!("c{i}"));
+        }
+        j.set_capacity(2);
+        assert_eq!(j.capacity(), 2);
+        let recent = j.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].detail, "c4");
+        // Growing never loses entries.
+        j.set_capacity(16);
+        assert_eq!(j.len(), 2);
+        j.push("compaction", "c6".into());
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let j = EventJournal::new(0);
+        j.push("a", String::new());
+        j.push("b", String::new());
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.recent()[0].kind, "b");
+    }
+
+    #[test]
+    fn timestamps_are_sane() {
+        let j = EventJournal::default();
+        j.push("probe", String::new());
+        let e = &j.recent()[0];
+        // After 2020-01-01 in ms.
+        assert!(e.ts_ms > 1_577_836_800_000, "ts_ms = {}", e.ts_ms);
+    }
+}

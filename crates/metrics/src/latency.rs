@@ -47,6 +47,21 @@ fn bucket_value(idx: usize) -> u64 {
     lo + width / 2
 }
 
+/// Inclusive upper bound (µs) of a bucket: the largest integer value that
+/// maps into it. Strictly increasing in `idx`, which is what a Prometheus
+/// `le` ladder needs.
+#[inline]
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = idx / SUB + 1;
+    let sub = (idx % SUB) as u64;
+    let lo = (1u64 << octave) + (sub << (octave - 2));
+    let width = 1u64 << (octave - 2);
+    lo + width - 1
+}
+
 /// A concurrent latency histogram: microsecond samples, approximate
 /// quantiles, exact count/mean.
 #[derive(Debug)]
@@ -117,6 +132,42 @@ impl LatencyHistogram {
             }
         }
         bucket_value(BUCKETS - 1)
+    }
+
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Adds every sample recorded in `other` into `self`. Concurrent
+    /// `record` calls on either side are safe; a merge racing a `record`
+    /// lands the sample on exactly one side of the merge.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The occupied buckets as `(inclusive upper bound µs, count)`, in
+    /// ascending bound order — the raw material for a Prometheus `le`
+    /// ladder (cumulate the counts; the last real bucket is a saturation
+    /// catch-all, so render it as `+Inf` alongside an explicit one).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper(idx), n))
+            })
+            .collect()
     }
 
     /// Resets every counter to zero. Not atomic with respect to concurrent
@@ -207,5 +258,80 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record_us(1234);
+        let rep = bucket_value(bucket_of(1234));
+        for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), rep, "q = {q}");
+        }
+        assert_eq!(h.mean_us(), 1234.0);
+        assert_eq!(h.sum_us(), 1234);
+    }
+
+    #[test]
+    fn saturating_samples_land_in_the_top_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(u64::MAX / 2);
+        // Both saturate into the final catch-all bucket; the quantile is
+        // that bucket's representative value, and it stays in-bucket.
+        let top = bucket_value(BUCKETS - 1);
+        assert_eq!(h.quantile_us(0.5), top);
+        assert_eq!(h.quantile_us(1.0), top);
+        assert_eq!(bucket_of(top), BUCKETS - 1);
+        // The exact sum is preserved even though the buckets saturate.
+        assert_eq!(h.sum_us(), u64::MAX.wrapping_add(u64::MAX / 2));
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_quantiles() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for us in 1..=500u64 {
+            a.record_us(us);
+        }
+        for us in 501..=1000u64 {
+            b.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.sum_us(), (1..=1000u64).sum::<u64>());
+        let p50 = a.quantile_us(0.50) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.15, "p50 = {p50}");
+        // b is untouched.
+        assert_eq!(b.count(), 500);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity() {
+        let a = LatencyHistogram::new();
+        a.record_us(7);
+        let before = (a.count(), a.sum_us(), a.quantile_us(0.5));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.sum_us(), a.quantile_us(0.5)), before);
+    }
+
+    #[test]
+    fn nonzero_buckets_have_ascending_exhaustive_bounds() {
+        let h = LatencyHistogram::new();
+        for us in [0u64, 3, 4, 100, 100, 65_000, u64::MAX] {
+            h.record_us(us);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        let mut last = None;
+        for &(bound, count) in &buckets {
+            assert!(count > 0);
+            assert!(Some(bound) > last, "bounds must strictly ascend");
+            last = Some(bound);
+        }
+        // An upper bound classifies into its own bucket.
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(idx)), idx, "idx {idx}");
+        }
     }
 }

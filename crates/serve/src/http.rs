@@ -21,6 +21,10 @@ pub struct Request {
     pub method: String,
     /// Path component of the request target (query string stripped).
     pub path: String,
+    /// Raw query string (without the `?`); empty when the target has
+    /// none. Routing stays path-only — handlers opt into flags via
+    /// [`Request::query_param`].
+    pub query: String,
     /// Lowercased header names with trimmed values, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
@@ -36,6 +40,16 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name` (`?name=value&…`), if
+    /// present; a bare `?name` yields `Some("")`. No percent-decoding —
+    /// the API's flag values are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -247,6 +261,7 @@ impl<S: Read + Write> HttpConn<S> {
         let ParsedHead {
             method,
             path,
+            query,
             headers,
             keep_alive,
             ..
@@ -254,6 +269,7 @@ impl<S: Read + Write> HttpConn<S> {
         ReadOutcome::Request(Request {
             method,
             path,
+            query,
             headers,
             body,
             keep_alive,
@@ -276,6 +292,7 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 struct ParsedHead {
     method: String,
     path: String,
+    query: String,
     headers: Vec<(String, String)>,
     keep_alive: bool,
     content_length: Option<usize>,
@@ -355,10 +372,14 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
         ));
     }
 
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     Ok(ParsedHead {
         method: method.to_string(),
         path,
+        query,
         headers,
         keep_alive,
         content_length,
@@ -632,6 +653,26 @@ mod tests {
             panic!("expected request, got {out:?}");
         };
         assert_eq!(req.path, "/stats");
+        assert_eq!(req.query, "verbose=1");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn query_params_parse_flags_and_pairs() {
+        let out = read_one(&[b"POST /search?debug=timings&trace HTTP/1.1\r\n\r\n"], 64);
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert_eq!(req.query_param("debug"), Some("timings"));
+        assert_eq!(req.query_param("trace"), Some(""));
+        // And a target with no query at all parses to the empty string.
+        let out = read_one(&[b"GET /stats HTTP/1.1\r\n\r\n"], 64);
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected request, got {out:?}");
+        };
+        assert!(req.query.is_empty());
+        assert_eq!(req.query_param("debug"), None);
     }
 
     #[test]

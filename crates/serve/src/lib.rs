@@ -41,9 +41,10 @@
 //!
 //! | Route | Method | Purpose |
 //! |---|---|---|
-//! | `/healthz` | GET | liveness probe |
-//! | `/stats` | GET | counters, latency quantiles, batch histogram |
-//! | `/collections/:name/search` | POST | k-NN search (batched or direct) |
+//! | `/healthz` | GET | liveness probe (uptime, version, SIMD kernel) |
+//! | `/stats` | GET | counters, latency quantiles, batch histogram, store metrics + event journal |
+//! | `/metrics` | GET | Prometheus text exposition of the whole surface |
+//! | `/collections/:name/search` | POST | k-NN search (batched or direct); `?debug=timings` adds a stage breakdown |
 //! | `/collections/:name/insert` | POST | insert one vector or many |
 //! | `/collections/:name/delete` | POST | tombstone ids |
 //! | `/search` `/insert` `/delete` | POST | same, against the default collection |

@@ -7,7 +7,7 @@
 
 use crate::json::Json;
 use crate::json_obj;
-use rabitq_metrics::LatencyHistogram;
+use rabitq_metrics::{LatencyHistogram, Stage, StageTimers};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest batch size tracked exactly by the batch-size histogram.
@@ -37,6 +37,10 @@ pub struct ServerMetrics {
     pub deletes: AtomicU64,
     /// End-to-end search latency (admission to response ready), µs.
     pub search_latency: LatencyHistogram,
+    /// Per-pipeline-stage time across every answered search (rotate, LUT
+    /// build, scan, re-rank, merge) — the global aggregate of the
+    /// per-query [`rabitq_metrics::StageNanos`] breakdowns.
+    pub stages: StageTimers,
     /// Executed search batches.
     pub batches: AtomicU64,
     /// `batch_sizes[s-1]` counts batches of size `s` (capped at
@@ -64,6 +68,7 @@ impl ServerMetrics {
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             search_latency: LatencyHistogram::new(),
+            stages: StageTimers::new(),
             batches: AtomicU64::new(0),
             batch_sizes: (0..MAX_TRACKED_BATCH).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -139,6 +144,23 @@ impl ServerMetrics {
                 "p95" => self.search_latency.quantile_us(0.95),
                 "p99" => self.search_latency.quantile_us(0.99)
             },
+            "search_stages_us" => Json::Obj(
+                Stage::ALL
+                    .iter()
+                    .map(|&stage| {
+                        let h = self.stages.hist(stage);
+                        (
+                            stage.name().to_string(),
+                            json_obj! {
+                                "count" => h.count(),
+                                "total" => h.sum_us(),
+                                "mean" => h.mean_us(),
+                                "p99" => h.quantile_us(0.99)
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
             "batches" => self.batches.load(Ordering::Relaxed),
             "mean_batch_size" => self.mean_batch_size(),
             "batch_size_histogram" => batch_hist

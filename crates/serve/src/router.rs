@@ -2,9 +2,10 @@
 //!
 //! | Route | Method | Body | Response |
 //! |---|---|---|---|
-//! | `/healthz` | GET | — | `{"status":"ok"|"degraded","read_only":…,"degraded":…}` |
-//! | `/stats` | GET | — | metrics + per-collection sizes and health |
-//! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?}` | `{"neighbors":[{"id","distance"}…],…}` |
+//! | `/healthz` | GET | — | `{"status":"ok"|"degraded","read_only":…,"degraded":…,"uptime_ms":…,"version":…,"kernel":…}` |
+//! | `/stats` | GET | — | metrics + per-collection sizes, health, store counters, event journal |
+//! | `/metrics` | GET | — | Prometheus text exposition (`text/plain; version=0.0.4`) |
+//! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?}` | `{"neighbors":[{"id","distance"}…],…}`; `?debug=timings` adds `timings_us` |
 //! | `/collections/:name/insert` | POST | `{"vector":[…]}` or `{"vectors":[[…]…]}` | `{"ids":[…]}` |
 //! | `/collections/:name/delete` | POST | `{"id":n}` or `{"ids":[…]}` | `{"deleted":n}` |
 //! | `/search`, `/insert`, `/delete` | POST | as above | against the default collection |
@@ -26,11 +27,15 @@ use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::json_obj;
 use crate::server::{ServedCollection, ServerState};
+use rabitq_core::hw;
 use rabitq_ivf::SearchResult;
+use rabitq_metrics::timer::time_once;
+use rabitq_metrics::{EventJournal, PromEncoder, Stage, StageNanos};
+use rabitq_store::StoreMetrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Dispatches one request.
 pub(crate) fn handle(state: &ServerState, req: &Request) -> Response {
@@ -38,6 +43,7 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> Response {
     match segments.as_slice() {
         ["healthz"] => method(req, "GET", |_| healthz(state)),
         ["stats"] => method(req, "GET", |_| stats(state)),
+        ["metrics"] => method(req, "GET", |_| metrics_text(state)),
         ["search"] => method(req, "POST", |r| search(state, default(state), r)),
         ["insert"] => method(req, "POST", |r| insert(state, default(state), r)),
         ["delete"] => method(req, "POST", |r| delete(state, default(state), r)),
@@ -87,7 +93,10 @@ fn healthz(state: &ServerState) -> Response {
     let body = json_obj! {
         "status" => status,
         "degraded" => degraded,
-        "read_only" => read_only
+        "read_only" => read_only,
+        "uptime_ms" => state.started.elapsed().as_millis() as u64,
+        "version" => env!("CARGO_PKG_VERSION"),
+        "kernel" => hw::active_kernel()
     };
     Response::json(200, body.encode())
 }
@@ -100,6 +109,7 @@ fn stats(state: &ServerState) -> Response {
             .map(|(name, served)| {
                 let snapshot = served.reader.snapshot();
                 let health = served.reader.health();
+                let store = served.reader.metrics();
                 (
                     name.clone(),
                     json_obj! {
@@ -110,7 +120,9 @@ fn stats(state: &ServerState) -> Response {
                         "queued_searches" => served.batcher.queue_len(),
                         "degraded" => health.degraded,
                         "read_only" => health.read_only,
-                        "quarantined_segments" => health.quarantined_segments
+                        "quarantined_segments" => health.quarantined_segments,
+                        "store" => store_json(store),
+                        "events" => events_json(&store.journal)
                     },
                 )
             })
@@ -125,6 +137,290 @@ fn stats(state: &ServerState) -> Response {
         "collections" => collections
     };
     Response::json(200, body.encode())
+}
+
+/// `/metrics`: the whole observability surface — server, batcher,
+/// per-collection store, and search-stage metrics — in Prometheus text
+/// exposition format (hand-rolled encoder, no dependency).
+fn metrics_text(state: &ServerState) -> Response {
+    let m = &state.metrics;
+    let mut enc = PromEncoder::new();
+    enc.gauge(
+        "rabitq_uptime_seconds",
+        "Seconds since the server started.",
+        &[],
+        state.started.elapsed().as_secs_f64(),
+    );
+    enc.counter(
+        "rabitq_requests_total",
+        "Requests fully parsed off a connection.",
+        &[],
+        m.requests.load(Ordering::Relaxed),
+    );
+    for (class, counter) in [
+        ("2xx", &m.ok_responses),
+        ("4xx", &m.client_errors),
+        ("5xx", &m.server_errors),
+    ] {
+        enc.counter(
+            "rabitq_responses_total",
+            "Responses by status class.",
+            &[("class", class)],
+            counter.load(Ordering::Relaxed),
+        );
+    }
+    for (reason, counter) in [
+        ("overload", &m.shed_overload),
+        ("unavailable", &m.shed_unavailable),
+    ] {
+        enc.counter(
+            "rabitq_shed_total",
+            "Requests shed at the admission edge.",
+            &[("reason", reason)],
+            counter.load(Ordering::Relaxed),
+        );
+    }
+    enc.counter(
+        "rabitq_rejected_read_only_total",
+        "Mutations rejected because the collection is read-only.",
+        &[],
+        m.rejected_read_only.load(Ordering::Relaxed),
+    );
+    enc.counter(
+        "rabitq_inserts_total",
+        "Vectors inserted.",
+        &[],
+        m.inserts.load(Ordering::Relaxed),
+    );
+    enc.counter(
+        "rabitq_deletes_total",
+        "Tombstones applied.",
+        &[],
+        m.deletes.load(Ordering::Relaxed),
+    );
+    enc.counter(
+        "rabitq_batches_total",
+        "Executed search batches.",
+        &[],
+        m.batches.load(Ordering::Relaxed),
+    );
+    enc.gauge(
+        "rabitq_batch_size_mean",
+        "Mean executed batch size.",
+        &[],
+        m.mean_batch_size(),
+    );
+    enc.histogram_us(
+        "rabitq_search_latency_seconds",
+        "End-to-end search latency (admission to response ready).",
+        &[],
+        &m.search_latency,
+    );
+    for &stage in Stage::ALL.iter() {
+        enc.histogram_us(
+            "rabitq_search_stage_seconds",
+            "Per-query time spent in each search pipeline stage.",
+            &[("stage", stage.name())],
+            m.stages.hist(stage),
+        );
+    }
+
+    for (name, served) in &state.collections {
+        let store = served.reader.metrics();
+        let snapshot = served.reader.snapshot();
+        let health = served.reader.health();
+        let labels: &[(&str, &str)] = &[("collection", name.as_str())];
+        enc.gauge(
+            "rabitq_collection_live_vectors",
+            "Live vectors in the latest snapshot.",
+            labels,
+            snapshot.len() as f64,
+        );
+        enc.gauge(
+            "rabitq_collection_segments",
+            "Sealed segments in the latest snapshot.",
+            labels,
+            snapshot.n_segments() as f64,
+        );
+        enc.gauge(
+            "rabitq_collection_memtable_rows",
+            "Rows in the latest snapshot's memtable view.",
+            labels,
+            snapshot.memtable_len() as f64,
+        );
+        enc.gauge(
+            "rabitq_collection_queued_searches",
+            "Searches waiting in the admission queue.",
+            labels,
+            served.batcher.queue_len() as f64,
+        );
+        enc.gauge(
+            "rabitq_collection_degraded",
+            "1 when segments were quarantined at open.",
+            labels,
+            u8::from(health.degraded).into(),
+        );
+        enc.gauge(
+            "rabitq_collection_read_only",
+            "1 when mutations are frozen.",
+            labels,
+            u8::from(health.read_only).into(),
+        );
+        for (metric, help, counter) in [
+            (
+                "rabitq_store_wal_appends_total",
+                "WAL records appended.",
+                &store.wal_appends,
+            ),
+            (
+                "rabitq_store_wal_syncs_total",
+                "Explicit WAL fsyncs.",
+                &store.wal_syncs,
+            ),
+            (
+                "rabitq_store_seals_total",
+                "Memtable seals completed.",
+                &store.seals,
+            ),
+            (
+                "rabitq_store_segment_opens_total",
+                "Segment files opened.",
+                &store.segment_opens,
+            ),
+            (
+                "rabitq_store_compactions_total",
+                "Compactions completed.",
+                &store.compactions,
+            ),
+            (
+                "rabitq_store_compaction_bytes_in_total",
+                "Live vector bytes read by compactions.",
+                &store.compaction_bytes_in,
+            ),
+            (
+                "rabitq_store_compaction_bytes_out_total",
+                "Segment bytes written by compactions.",
+                &store.compaction_bytes_out,
+            ),
+            (
+                "rabitq_store_quarantines_total",
+                "Segments quarantined at open.",
+                &store.quarantines,
+            ),
+            (
+                "rabitq_store_read_only_flips_total",
+                "Healthy-to-read-only transitions.",
+                &store.read_only_flips,
+            ),
+            (
+                "rabitq_store_publishes_total",
+                "Snapshots published.",
+                &store.publishes,
+            ),
+        ] {
+            enc.counter(metric, help, labels, StoreMetrics::get(counter));
+        }
+        for (metric, help, hist) in [
+            (
+                "rabitq_store_wal_append_seconds",
+                "WAL append duration.",
+                &store.wal_append_us,
+            ),
+            (
+                "rabitq_store_wal_sync_seconds",
+                "WAL fsync duration.",
+                &store.wal_sync_us,
+            ),
+            (
+                "rabitq_store_seal_seconds",
+                "Memtable seal duration.",
+                &store.seal_us,
+            ),
+            (
+                "rabitq_store_segment_open_seconds",
+                "Segment open duration.",
+                &store.segment_open_us,
+            ),
+            (
+                "rabitq_store_compaction_seconds",
+                "Compaction duration.",
+                &store.compaction_us,
+            ),
+        ] {
+            enc.histogram_us(metric, help, labels, hist);
+        }
+        enc.counter(
+            "rabitq_events_recorded_total",
+            "Events pushed into the journal since open.",
+            labels,
+            store.journal.total_recorded(),
+        );
+        enc.counter(
+            "rabitq_events_dropped_total",
+            "Events evicted from the bounded journal.",
+            labels,
+            store.journal.dropped(),
+        );
+    }
+
+    enc.info(
+        "rabitq_build_info",
+        "Build metadata.",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+    );
+    let features = hw::cpu_features().join(",");
+    let cores = hw::cores().to_string();
+    enc.info(
+        "rabitq_kernel_info",
+        "Active fastscan kernel and detected CPU features.",
+        &[
+            ("kernel", hw::active_kernel()),
+            ("cpu_features", &features),
+            ("cores", &cores),
+        ],
+    );
+    Response {
+        status: 200,
+        body: enc.render().into_bytes(),
+        content_type: "text/plain; version=0.0.4",
+        close: false,
+    }
+}
+
+/// The per-collection store counters as a `/stats` fragment.
+fn store_json(m: &StoreMetrics) -> Json {
+    json_obj! {
+        "wal_appends" => StoreMetrics::get(&m.wal_appends),
+        "wal_append_us_p99" => m.wal_append_us.quantile_us(0.99),
+        "wal_syncs" => StoreMetrics::get(&m.wal_syncs),
+        "seals" => StoreMetrics::get(&m.seals),
+        "seal_us_mean" => m.seal_us.mean_us(),
+        "segment_opens" => StoreMetrics::get(&m.segment_opens),
+        "compactions" => StoreMetrics::get(&m.compactions),
+        "compaction_bytes_in" => StoreMetrics::get(&m.compaction_bytes_in),
+        "compaction_bytes_out" => StoreMetrics::get(&m.compaction_bytes_out),
+        "quarantines" => StoreMetrics::get(&m.quarantines),
+        "read_only_flips" => StoreMetrics::get(&m.read_only_flips),
+        "publishes" => StoreMetrics::get(&m.publishes)
+    }
+}
+
+/// The event journal (oldest first) as a `/stats` fragment.
+fn events_json(journal: &EventJournal) -> Json {
+    Json::Arr(
+        journal
+            .recent()
+            .into_iter()
+            .map(|e| {
+                json_obj! {
+                    "seq" => e.seq,
+                    "ts_ms" => e.ts_ms,
+                    "kind" => e.kind,
+                    "detail" => e.detail
+                }
+            })
+            .collect(),
+    )
 }
 
 /// Parses the request body as a JSON object, or answers `400`.
@@ -193,34 +489,77 @@ fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
         }
     };
 
-    let start = Instant::now();
-    let result = if batched {
-        match served.batcher.submit(query, k, nprobe) {
-            Ok(r) => r,
-            Err(SubmitError::Overloaded) => {
-                state.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
-                return Response::error(429, "admission queue full, retry later");
+    let (outcome, elapsed) = time_once(|| {
+        if batched {
+            match served.batcher.submit(query, k, nprobe) {
+                Ok(r) => Ok(r),
+                Err(SubmitError::Overloaded) => {
+                    state.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
+                    Err(Response::error(429, "admission queue full, retry later"))
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    state
+                        .metrics
+                        .shed_unavailable
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(Response::error(503, "server is shutting down"))
+                }
+                Err(SubmitError::Failed) => Err(Response::error(500, "search execution failed")),
             }
-            Err(SubmitError::ShuttingDown) => {
-                state
-                    .metrics
-                    .shed_unavailable
-                    .fetch_add(1, Ordering::Relaxed);
-                return Response::error(503, "server is shutting down");
-            }
-            Err(SubmitError::Failed) => {
-                return Response::error(500, "search execution failed");
-            }
+        } else {
+            // Direct per-request execution on this worker thread: the
+            // unbatched baseline. Snapshot load + serial search.
+            let seq = state.direct_seq.fetch_add(1, Ordering::Relaxed);
+            let mut rng = StdRng::seed_from_u64(state.config.batch.seed ^ seq);
+            Ok(served.reader.search(&query, k, nprobe, &mut rng))
         }
-    } else {
-        // Direct per-request execution on this worker thread: the
-        // unbatched baseline. Snapshot load + serial search.
-        let seq = state.direct_seq.fetch_add(1, Ordering::Relaxed);
-        let mut rng = StdRng::seed_from_u64(state.config.batch.seed ^ seq);
-        served.reader.search(&query, k, nprobe, &mut rng)
+    });
+    let result = match outcome {
+        Ok(r) => r,
+        Err(resp) => return resp,
     };
-    state.metrics.search_latency.record(start.elapsed());
-    Response::json(200, search_json(&result).encode())
+    state.metrics.search_latency.record(elapsed);
+    state.metrics.stages.record(&result.stages);
+    if state.config.slow_query_ms > 0 && elapsed.as_millis() as u64 >= state.config.slow_query_ms {
+        let s = &result.stages;
+        served.reader.metrics().journal.push(
+            "slow_query",
+            format!(
+                "{}us k={k} nprobe={nprobe} mode={} stages_us rotate={} lut_build={} \
+                 scan={} rerank={} merge={}",
+                elapsed.as_micros(),
+                if batched { "batched" } else { "direct" },
+                s.get_ns(Stage::Rotate) / 1000,
+                s.get_ns(Stage::LutBuild) / 1000,
+                s.get_ns(Stage::Scan) / 1000,
+                s.get_ns(Stage::Rerank) / 1000,
+                s.get_ns(Stage::Merge) / 1000,
+            ),
+        );
+    }
+    let mut body = search_json(&result);
+    // Opt-in per-query breakdown: `POST /…/search?debug=timings`.
+    if req.query_param("debug") == Some("timings") {
+        if let Json::Obj(fields) = &mut body {
+            fields.push(("timings_us".into(), timings_json(&result.stages, elapsed)));
+        }
+    }
+    Response::json(200, body.encode())
+}
+
+/// The `?debug=timings` response fragment: per-stage and total stage
+/// time, plus the edge-observed elapsed time, all in microseconds.
+fn timings_json(stages: &StageNanos, elapsed: Duration) -> Json {
+    let mut fields: Vec<(String, Json)> = Stage::ALL
+        .iter()
+        .map(|&s| (s.name().to_string(), Json::from(stages.get_ns(s) / 1000)))
+        .collect();
+    fields.push(("stage_total".into(), Json::from(stages.total_ns() / 1000)));
+    fields.push((
+        "elapsed".into(),
+        Json::from(elapsed.as_micros().min(u128::from(u64::MAX)) as u64),
+    ));
+    Json::Obj(fields)
 }
 
 fn search_json(result: &SearchResult) -> Json {

@@ -79,6 +79,13 @@ pub struct ServeConfig {
     /// Consecutive read-timeout ticks an idle keep-alive connection may
     /// hold a worker before being closed.
     pub idle_timeout_ticks: u32,
+    /// Searches slower than this (end-to-end, milliseconds) are recorded
+    /// in the collection's event journal with their parameters and stage
+    /// breakdown. `0` disables the slow-query log.
+    pub slow_query_ms: u64,
+    /// Capacity of each collection's in-memory event journal (applied at
+    /// startup; open-time events are preserved).
+    pub events_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +105,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             partial_timeout_ticks: 20,
             idle_timeout_ticks: 600,
+            slow_query_ms: 0,
+            events_capacity: 256,
         }
     }
 }
@@ -155,6 +164,10 @@ impl Server {
         let default_name = collections[0].0.clone();
         let mut map = HashMap::new();
         for (name, collection) in collections {
+            collection
+                .metrics()
+                .journal
+                .set_capacity(config.events_capacity);
             let reader = collection.reader();
             let batcher = Batcher::start(reader.clone(), config.batch.clone(), metrics.clone());
             map.insert(

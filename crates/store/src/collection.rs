@@ -64,6 +64,7 @@ use crate::io::{atomic_write, disk_io, StorageIo};
 use crate::manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 use crate::memtable::Memtable;
 use crate::memview::MemView;
+use crate::observe::StoreMetrics;
 use crate::segment::Segment;
 use crate::snapshot::{CollectionReader, ParallelOptions, Snapshot, SnapshotSlot};
 use crate::wal::{Wal, WalRecord};
@@ -74,6 +75,7 @@ use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// File name of the write-ahead log within a collection directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -133,6 +135,9 @@ pub struct Collection {
     io: Arc<dyn StorageIo>,
     /// Degraded / read-only flags, shared with detached readers.
     health: Arc<HealthState>,
+    /// Operational counters, histograms, and the event journal — shared
+    /// with detached readers and the serving layer.
+    metrics: Arc<StoreMetrics>,
 }
 
 /// The manifest entry describing one segment's current state.
@@ -146,9 +151,17 @@ fn segment_meta(segment: &Segment) -> SegmentMeta {
 /// Runs a durable-write step; on failure the collection is flipped
 /// read-only (first failure keeps its reason) and the error is returned
 /// typed. Free function so field borrows stay disjoint at call sites.
-fn freeze_on_err<T>(health: &HealthState, what: &str, r: io::Result<T>) -> Result<T, StoreError> {
+fn freeze_on_err<T>(
+    health: &HealthState,
+    metrics: &StoreMetrics,
+    what: &str,
+    r: io::Result<T>,
+) -> Result<T, StoreError> {
     r.map_err(|e| {
-        health.set_read_only(format!("{what}: {e}"));
+        if health.set_read_only(format!("{what}: {e}")) {
+            StoreMetrics::bump(&metrics.read_only_flips);
+            metrics.journal.push("read_only", format!("{what}: {e}"));
+        }
         StoreError::Io(e)
     })
 }
@@ -187,6 +200,7 @@ impl Collection {
         );
         std::fs::create_dir_all(dir)?;
         let health = Arc::new(HealthState::new());
+        let metrics = Arc::new(StoreMetrics::new());
 
         let manifest_path = dir.join(MANIFEST_FILE);
         let mut manifest = if io.file_len(&manifest_path)?.is_some() {
@@ -226,8 +240,11 @@ impl Collection {
         let mut quarantine_failed: HashSet<String> = HashSet::new();
         for meta in &manifest.segments {
             let path = dir.join(&meta.file);
+            let t0 = Instant::now();
             match Segment::load_with_io(&path, io.as_ref()) {
                 Ok(segment) => {
+                    StoreMetrics::bump(&metrics.segment_opens);
+                    metrics.segment_open_us.record(t0.elapsed());
                     for &id in &meta.tombstones {
                         segment.delete(id);
                     }
@@ -244,27 +261,34 @@ impl Collection {
                     match io.rename(&path, &dir.join(&quarantine)) {
                         Ok(()) => {
                             io.sync_dir(dir).ok();
-                            health.record_quarantine(format!(
+                            let note = format!(
                                 "segment {} corrupt ({e}); quarantined as {quarantine}",
                                 meta.file
-                            ));
+                            );
+                            StoreMetrics::bump(&metrics.quarantines);
+                            metrics.journal.push("quarantine", note.clone());
+                            health.record_quarantine(note);
                         }
                         Err(re) => {
                             quarantine_failed.insert(meta.file.clone());
-                            health.record_quarantine(format!(
+                            let note = format!(
                                 "segment {} corrupt ({e}); quarantine rename failed: {re}",
                                 meta.file
-                            ));
+                            );
+                            StoreMetrics::bump(&metrics.quarantines);
+                            metrics.journal.push("quarantine", note.clone());
+                            health.record_quarantine(note);
                         }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
                     // Already renamed aside by a crash mid-quarantine, or
                     // externally removed: either way the rows are gone.
-                    health.record_quarantine(format!(
-                        "segment {} missing ({e}); dropped from manifest",
-                        meta.file
-                    ));
+                    let note =
+                        format!("segment {} missing ({e}); dropped from manifest", meta.file);
+                    StoreMetrics::bump(&metrics.quarantines);
+                    metrics.journal.push("quarantine", note.clone());
+                    health.record_quarantine(note);
                 }
                 Err(e) => return Err(e),
             }
@@ -343,6 +367,16 @@ impl Collection {
             }
         }
 
+        metrics.journal.push(
+            "open",
+            format!(
+                "{} segments, {} quarantined, {} memtable rows replayed",
+                segments.len(),
+                health.quarantined_segments(),
+                memtable.len()
+            ),
+        );
+
         let slot = Arc::new(SnapshotSlot::new(Snapshot::new(
             config.dim,
             mem_view.clone(),
@@ -360,6 +394,7 @@ impl Collection {
             next_id,
             io,
             health,
+            metrics,
         })
     }
 
@@ -419,7 +454,30 @@ impl Collection {
     /// go away). Mutations return [`StoreError::ReadOnly`] until the
     /// collection is reopened; searches are unaffected.
     pub fn set_read_only(&self, reason: &str) {
-        self.health.set_read_only(reason);
+        if self.health.set_read_only(reason) {
+            StoreMetrics::bump(&self.metrics.read_only_flips);
+            self.metrics.journal.push("read_only", reason.to_string());
+        }
+    }
+
+    /// The collection's operational counters, histograms, and event
+    /// journal — the same shared instance every [`CollectionReader`]
+    /// carries, so serving layers can read it without the writer.
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
+    }
+
+    /// Explicitly fsyncs the WAL file, making every acked mutation
+    /// durable against power loss (appends alone only flush to the OS).
+    /// An fsync failure freezes the collection like any other durability
+    /// fault.
+    pub fn sync_wal(&mut self) -> Result<(), StoreError> {
+        self.check_writable()?;
+        let t0 = Instant::now();
+        freeze_on_err(&self.health, &self.metrics, "WAL fsync", self.wal.sync())?;
+        StoreMetrics::bump(&self.metrics.wal_syncs);
+        self.metrics.wal_sync_us.record(t0.elapsed());
+        Ok(())
     }
 
     /// Rejects mutations once the collection froze itself.
@@ -445,6 +503,7 @@ impl Collection {
             self.mem_view.clone(),
             self.segments.clone(),
         ));
+        StoreMetrics::bump(&self.metrics.publishes);
     }
 
     /// The current immutable snapshot — a cheap `Arc` clone the caller
@@ -462,6 +521,7 @@ impl Collection {
             slot: self.slot.clone(),
             dim: self.config.dim,
             health: self.health.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -477,11 +537,15 @@ impl Collection {
         assert_eq!(vector.len(), self.config.dim, "vector dimensionality");
         self.check_writable()?;
         let id = self.next_id;
+        let t0 = Instant::now();
         freeze_on_err(
             &self.health,
+            &self.metrics,
             "WAL append (insert)",
             self.wal.append_insert(id, vector),
         )?;
+        StoreMetrics::bump(&self.metrics.wal_appends);
+        self.metrics.wal_append_us.record(t0.elapsed());
         self.memtable.insert(id, vector);
         self.mem_view.insert(id, vector);
         self.next_id = self.next_id.checked_add(1).expect("id space exhausted");
@@ -503,11 +567,15 @@ impl Collection {
     pub fn delete(&mut self, id: u32) -> Result<bool, StoreError> {
         self.check_writable()?;
         if self.memtable.contains(id) {
+            let t0 = Instant::now();
             freeze_on_err(
                 &self.health,
+                &self.metrics,
                 "WAL append (delete)",
                 self.wal.append_delete(id),
             )?;
+            StoreMetrics::bump(&self.metrics.wal_appends);
+            self.metrics.wal_append_us.record(t0.elapsed());
             self.memtable.delete(id);
             self.mem_view.delete(id);
             self.publish();
@@ -516,11 +584,15 @@ impl Collection {
         let Some(seg) = self.segments.iter().position(|s| s.contains_live(id)) else {
             return Ok(false);
         };
+        let t0 = Instant::now();
         freeze_on_err(
             &self.health,
+            &self.metrics,
             "WAL append (delete)",
             self.wal.append_delete(id),
         )?;
+        StoreMetrics::bump(&self.metrics.wal_appends);
+        self.metrics.wal_append_us.record(t0.elapsed());
         // The tombstone bitmap is atomic, so this is immediately visible
         // to in-flight snapshots too; republish regardless so the slot
         // always reflects the latest committed state.
@@ -568,6 +640,8 @@ impl Collection {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        let t0 = Instant::now();
+        let rows = self.memtable.len();
         let name = format!("seg-{:06}.rbq", self.manifest.next_segment_seq);
         let segment = Segment::build(
             name.clone(),
@@ -581,6 +655,7 @@ impl Collection {
         segment.write(&mut bytes)?;
         freeze_on_err(
             &self.health,
+            &self.metrics,
             "segment write (seal)",
             atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
         )?;
@@ -591,11 +666,12 @@ impl Collection {
         staged.wal_floor = self.next_id;
         staged.segments = self.segment_metas();
         staged.segments.push(SegmentMeta {
-            file: name,
+            file: name.clone(),
             tombstones: Vec::new(),
         });
         freeze_on_err(
             &self.health,
+            &self.metrics,
             "manifest switch (seal)",
             staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
         )?;
@@ -606,10 +682,21 @@ impl Collection {
         self.memtable.clear();
         self.mem_view.clear();
         self.publish();
+        StoreMetrics::bump(&self.metrics.seals);
+        self.metrics.seal_us.record(t0.elapsed());
+        self.metrics.journal.push(
+            "seal",
+            format!("{rows} rows -> {name} ({} bytes)", bytes.len()),
+        );
         // A failed WAL reset is harmless for consistency (records below
         // the floor are skipped on replay) but freezes the collection:
         // the log can no longer be trusted to accept appends.
-        freeze_on_err(&self.health, "WAL reset (seal)", self.wal.reset())?;
+        freeze_on_err(
+            &self.health,
+            &self.metrics,
+            "WAL reset (seal)",
+            self.wal.reset(),
+        )?;
 
         if self.config.auto_compact {
             self.maybe_compact()?;
@@ -655,6 +742,7 @@ impl Collection {
     /// the loser's files are orphans the next open removes.
     fn compact_indices(&mut self, indices: &[usize]) -> Result<(), StoreError> {
         self.check_writable()?;
+        let t0 = Instant::now();
         let mut ids = Vec::new();
         let mut data = Vec::new();
         for &i in indices {
@@ -679,6 +767,9 @@ impl Collection {
             },
         );
 
+        let bytes_in = (sorted_data.len() * std::mem::size_of::<f32>()) as u64;
+        let n_rows = sorted_ids.len();
+        let mut bytes_out = 0u64;
         let replacement = if sorted_ids.is_empty() {
             None // every row was tombstoned: the segments just disappear
         } else {
@@ -693,8 +784,10 @@ impl Collection {
             );
             let mut bytes = Vec::new();
             segment.write(&mut bytes)?;
+            bytes_out = bytes.len() as u64;
             freeze_on_err(
                 &self.health,
+                &self.metrics,
                 "segment write (compaction)",
                 atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
             )?;
@@ -720,6 +813,7 @@ impl Collection {
             .collect();
         freeze_on_err(
             &self.health,
+            &self.metrics,
             "manifest switch (compaction)",
             staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
         )?;
@@ -741,6 +835,17 @@ impl Collection {
         for file in old_files {
             self.io.remove_file(&self.dir.join(file)).ok();
         }
+        StoreMetrics::bump(&self.metrics.compactions);
+        self.metrics.compaction_us.record(t0.elapsed());
+        StoreMetrics::add(&self.metrics.compaction_bytes_in, bytes_in);
+        StoreMetrics::add(&self.metrics.compaction_bytes_out, bytes_out);
+        self.metrics.journal.push(
+            "compaction",
+            format!(
+                "{} segments -> {n_rows} live rows ({bytes_in} bytes in, {bytes_out} bytes out)",
+                indices.len()
+            ),
+        );
         Ok(())
     }
 

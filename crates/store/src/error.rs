@@ -92,13 +92,17 @@ impl HealthState {
     }
 
     /// Freezes mutations, keeping the first reason (later failures while
-    /// already frozen don't overwrite the root cause).
-    pub fn set_read_only(&self, reason: impl Into<String>) {
+    /// already frozen don't overwrite the root cause). Returns whether
+    /// this call performed the flip — callers count transitions, not
+    /// repeat failures.
+    pub fn set_read_only(&self, reason: impl Into<String>) -> bool {
         if !self.read_only.swap(true, Ordering::AcqRel) {
             if let Ok(mut r) = self.reason.lock() {
                 r.get_or_insert(reason.into());
             }
+            return true;
         }
+        false
     }
 
     /// Records one quarantined segment and marks the collection degraded.

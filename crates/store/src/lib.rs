@@ -15,6 +15,7 @@
 //! | [`pool`] | persistent process-wide worker threads behind the parallel paths |
 //! | [`manifest`] | atomic (temp + rename) record of the live segment set |
 //! | [`compaction`] | threshold policy: dead-weight and fan-out pressure |
+//! | [`observe`] | operational counters, duration histograms, event journal |
 //! | [`io`] | the [`StorageIo`] VFS every durable write routes through, plus the [`FaultIo`] fault injector |
 //! | [`error`] | typed mutation errors and the degraded / read-only health surface |
 //! | [`collection`] | the orchestrator tying all of the above together |
@@ -60,6 +61,7 @@ pub mod io;
 pub mod manifest;
 pub mod memtable;
 pub mod memview;
+pub mod observe;
 pub mod pool;
 pub mod segment;
 pub mod snapshot;
@@ -72,6 +74,7 @@ pub use io::{atomic_write, disk_io, DiskIo, FaultIo, FaultKind, FaultScript, Log
 pub use manifest::{Manifest, SegmentMeta, MANIFEST_FILE};
 pub use memtable::Memtable;
 pub use memview::MemView;
+pub use observe::StoreMetrics;
 pub use pool::WorkerPool;
 pub use segment::Segment;
 pub use snapshot::{CollectionReader, ParallelOptions, Snapshot};

@@ -1,0 +1,94 @@
+//! Store-side instrumentation: counters, duration histograms, and the
+//! event journal for one collection.
+//!
+//! A [`StoreMetrics`] is created when the collection opens and shared
+//! (`Arc`) between the writer, every detached [`CollectionReader`], and
+//! the serving layer — all sinks are lock-free atomics except the event
+//! journal's short mutex, and nothing here sits on the per-query search
+//! path (query-stage tracing travels inside `SearchResult` instead; see
+//! `rabitq_metrics::stage`).
+//!
+//! [`CollectionReader`]: crate::CollectionReader
+
+use rabitq_metrics::{EventJournal, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operational counters and histograms for one collection. Fields are
+/// public: render layers read them directly, the collection records into
+/// them. Durations are microseconds (the histogram's native unit).
+#[derive(Default)]
+pub struct StoreMetrics {
+    /// WAL records appended (inserts + deletes).
+    pub wal_appends: AtomicU64,
+    /// Duration of each WAL append (write + flush to OS).
+    pub wal_append_us: LatencyHistogram,
+    /// Explicit WAL fsyncs ([`crate::Collection::sync_wal`]).
+    pub wal_syncs: AtomicU64,
+    /// Duration of each WAL fsync.
+    pub wal_sync_us: LatencyHistogram,
+    /// Memtable seals completed.
+    pub seals: AtomicU64,
+    /// End-to-end seal duration (segment build + durable writes).
+    pub seal_us: LatencyHistogram,
+    /// Segment files opened (initial open + reopen).
+    pub segment_opens: AtomicU64,
+    /// Duration of each segment open (read + checksum + decode).
+    pub segment_open_us: LatencyHistogram,
+    /// Compactions completed.
+    pub compactions: AtomicU64,
+    /// End-to-end compaction duration.
+    pub compaction_us: LatencyHistogram,
+    /// Live rows read by compactions, in vector bytes.
+    pub compaction_bytes_in: AtomicU64,
+    /// Replacement segment file bytes written by compactions.
+    pub compaction_bytes_out: AtomicU64,
+    /// Segments quarantined at open (corruption).
+    pub quarantines: AtomicU64,
+    /// Healthy → read-only transitions (not repeat failures).
+    pub read_only_flips: AtomicU64,
+    /// Snapshots published (one per committed mutation batch).
+    pub publishes: AtomicU64,
+    /// Recent structured events (seals, compactions, quarantines,
+    /// read-only flips, slow queries pushed by the serving layer).
+    pub journal: EventJournal,
+}
+
+impl StoreMetrics {
+    /// Fresh, all-zero metrics with a default-capacity journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps a counter (relaxed — these are statistics, not locks).
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds `n` to a counter (byte totals).
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Loads a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_start_empty() {
+        let m = StoreMetrics::new();
+        assert_eq!(StoreMetrics::get(&m.wal_appends), 0);
+        assert_eq!(m.wal_append_us.count(), 0);
+        assert_eq!(StoreMetrics::bump(&m.wal_appends), 1);
+        assert_eq!(StoreMetrics::get(&m.wal_appends), 1);
+        assert!(m.journal.is_empty());
+    }
+}

@@ -39,13 +39,22 @@
 use crate::error::HealthReport;
 use crate::error::HealthState;
 use crate::memview::MemView;
+use crate::observe::StoreMetrics;
 use crate::pool::WorkerPool;
 use crate::segment::Segment;
 use rabitq_ivf::{SearchResult, SearchScratch, TopK};
+use rabitq_metrics::{Stage, StageNanos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::{RefCell, UnsafeCell};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Nanoseconds since `t0`, saturated to `u64` (the stage-trace unit).
+#[inline]
+fn ns_since(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
 
 thread_local! {
     /// Per-thread reusable scratch: pool workers are persistent, so this
@@ -187,12 +196,16 @@ impl Snapshot {
     ) -> SearchResult {
         assert_eq!(query.len(), self.dim, "query dimensionality");
         let mut top = TopK::new(k);
+        let mut stages = StageNanos::new();
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
         if k > 0 {
+            let t0 = Instant::now();
             n_reranked += self.memtable.scan_into(query, &mut top);
+            stages.add_ns(Stage::Rerank, ns_since(t0));
             for segment in &self.segments {
                 let res = segment.search(query, k, nprobe, rng);
+                stages.merge(&res.stages);
                 n_estimated += res.n_estimated;
                 n_reranked += res.n_reranked;
                 for (id, dist) in res.neighbors {
@@ -200,10 +213,14 @@ impl Snapshot {
                 }
             }
         }
+        let t0 = Instant::now();
+        let neighbors = top.into_sorted();
+        stages.add_ns(Stage::Merge, ns_since(t0));
         SearchResult {
-            neighbors: top.into_sorted(),
+            neighbors,
             n_estimated,
             n_reranked,
+            stages,
         }
     }
 
@@ -236,11 +253,15 @@ impl Snapshot {
         };
 
         let mut top = TopK::new(k);
+        let mut stages = StageNanos::new();
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
         if k > 0 {
+            let t0 = Instant::now();
             n_reranked += self.memtable.scan_into(query, &mut top);
+            stages.add_ns(Stage::Rerank, ns_since(t0));
             for res in &mut per_segment {
+                stages.merge(&res.stages);
                 n_estimated += res.n_estimated;
                 n_reranked += res.n_reranked;
                 for &(id, dist) in &res.neighbors {
@@ -248,10 +269,14 @@ impl Snapshot {
                 }
             }
         }
+        let t0 = Instant::now();
+        let neighbors = top.into_sorted();
+        stages.add_ns(Stage::Merge, ns_since(t0));
         SearchResult {
-            neighbors: top.into_sorted(),
+            neighbors,
             n_estimated,
             n_reranked,
+            stages,
         }
     }
 
@@ -313,13 +338,17 @@ impl Snapshot {
     ) -> SearchResult {
         let query = &queries[qi * self.dim..(qi + 1) * self.dim];
         let mut top = TopK::new(k);
+        let mut stages = StageNanos::new();
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
         if k > 0 {
+            let t0 = Instant::now();
             n_reranked += self.memtable.scan_into(query, &mut top);
+            stages.add_ns(Stage::Rerank, ns_since(t0));
             for (si, segment) in self.segments.iter().enumerate() {
                 let mut rng = StdRng::seed_from_u64(task_seed(seed, qi, si));
                 let (e, r) = segment.search_into(query, k, nprobe, scratch, &mut rng);
+                stages.merge(&scratch.stages);
                 n_estimated += e;
                 n_reranked += r;
                 for &(id, dist) in &scratch.neighbors {
@@ -327,10 +356,14 @@ impl Snapshot {
                 }
             }
         }
+        let t0 = Instant::now();
+        let neighbors = top.into_sorted();
+        stages.add_ns(Stage::Merge, ns_since(t0));
         SearchResult {
-            neighbors: top.into_sorted(),
+            neighbors,
             n_estimated,
             n_reranked,
+            stages,
         }
     }
 
@@ -384,6 +417,7 @@ pub struct CollectionReader {
     pub(crate) slot: Arc<SnapshotSlot>,
     pub(crate) dim: usize,
     pub(crate) health: Arc<HealthState>,
+    pub(crate) metrics: Arc<StoreMetrics>,
 }
 
 impl CollectionReader {
@@ -398,6 +432,13 @@ impl CollectionReader {
     /// the serving layer reads this without any writer lock.
     pub fn health(&self) -> HealthReport {
         self.health.report()
+    }
+
+    /// The collection's operational metrics and event journal — shared
+    /// live with the writer, so the serving layer renders store counters
+    /// (and pushes slow-query events) through this handle alone.
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
     }
 
     /// The latest published snapshot (an `Arc` clone — O(1)).

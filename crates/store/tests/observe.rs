@@ -1,0 +1,122 @@
+//! End-to-end checks of the store instrumentation: counters, duration
+//! histograms, and the event journal move when the collection works.
+
+use rabitq_store::{Collection, CollectionConfig, StoreMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("observe-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn writer_path_populates_counters_histograms_and_journal() {
+    let dir = tmp_dir("writer");
+    let mut config = CollectionConfig::new(8);
+    config.memtable_capacity = 32;
+    let mut collection = Collection::open(&dir, config).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, 96 * 8);
+    let ids: Vec<u32> = data
+        .chunks_exact(8)
+        .map(|v| collection.insert(v).unwrap())
+        .collect();
+    collection.delete(ids[0]).unwrap();
+    collection.seal().unwrap();
+    collection.compact().unwrap();
+    collection.sync_wal().unwrap();
+
+    let m = collection.metrics();
+    // 96 inserts + 1 delete hit the WAL; each append is timed.
+    assert_eq!(StoreMetrics::get(&m.wal_appends), 97);
+    assert_eq!(m.wal_append_us.count(), 97);
+    assert_eq!(StoreMetrics::get(&m.wal_syncs), 1);
+    // 32-row memtable over 96 inserts: three auto seals (the explicit
+    // seal found the memtable empty and was a no-op).
+    assert_eq!(StoreMetrics::get(&m.seals), 3);
+    assert_eq!(m.seal_us.count(), 3);
+    assert!(StoreMetrics::get(&m.compactions) >= 1);
+    assert!(StoreMetrics::get(&m.compaction_bytes_in) > 0);
+    assert!(StoreMetrics::get(&m.compaction_bytes_out) > 0);
+    assert!(StoreMetrics::get(&m.publishes) > 96);
+    assert_eq!(StoreMetrics::get(&m.quarantines), 0);
+    assert_eq!(StoreMetrics::get(&m.read_only_flips), 0);
+
+    let kinds: Vec<&'static str> = m.journal.recent().iter().map(|e| e.kind).collect();
+    assert_eq!(kinds[0], "open");
+    assert!(kinds.contains(&"seal"));
+    assert!(kinds.contains(&"compaction"));
+
+    // The detached reader shares the same instance.
+    let reader = collection.reader();
+    assert_eq!(StoreMetrics::get(&reader.metrics().wal_appends), 97);
+
+    // Reopen: segment opens are counted and timed.
+    drop(collection);
+    let reopened = Collection::open_existing(&dir).unwrap();
+    let m = reopened.metrics();
+    assert_eq!(
+        StoreMetrics::get(&m.segment_opens),
+        reopened.n_segments() as u64
+    );
+    assert_eq!(m.segment_open_us.count(), reopened.n_segments() as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn operator_freeze_counts_one_flip_and_journals_it() {
+    let dir = tmp_dir("freeze");
+    let collection = Collection::open(&dir, CollectionConfig::new(4)).unwrap();
+    collection.set_read_only("maintenance window");
+    collection.set_read_only("repeat call must not double-count");
+    let m = collection.metrics();
+    assert_eq!(StoreMetrics::get(&m.read_only_flips), 1);
+    let events = m.journal.recent();
+    let flips: Vec<_> = events.iter().filter(|e| e.kind == "read_only").collect();
+    assert_eq!(flips.len(), 1);
+    assert!(flips[0].detail.contains("maintenance window"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_at_open_is_counted_and_journaled() {
+    let dir = tmp_dir("quarantine");
+    let mut config = CollectionConfig::new(8);
+    config.memtable_capacity = 16;
+    let mut collection = Collection::open(&dir, config).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = rabitq_math::rng::standard_normal_vec(&mut rng, 32 * 8);
+    for v in data.chunks_exact(8) {
+        collection.insert(v).unwrap();
+    }
+    collection.seal().unwrap();
+    drop(collection);
+
+    // Flip bytes in the middle of one segment file.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".rbq"))
+        })
+        .expect("a sealed segment file");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    for b in &mut bytes[mid..mid + 8] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let reopened = Collection::open_existing(&dir).unwrap();
+    let m = reopened.metrics();
+    assert_eq!(StoreMetrics::get(&m.quarantines), 1);
+    assert!(m.journal.recent().iter().any(|e| e.kind == "quarantine"));
+    assert!(reopened.health().degraded);
+    std::fs::remove_dir_all(&dir).ok();
+}
