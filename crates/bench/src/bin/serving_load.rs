@@ -12,7 +12,12 @@
 //!    `search_many` calls;
 //! 3. **saturation** phase: 3× the connections against a server with a
 //!    deliberately tiny admission queue — measures shed rate (`429`s)
-//!    and that everything still drains cleanly.
+//!    and that everything still drains cleanly;
+//! 4. **impatient** phase: every search carries a tight `timeout_ms`
+//!    (shorter than the batch linger, so deadlines bite) and every 8th
+//!    client disconnects without reading its answer — measures the
+//!    deadline-hit rate and the wasted-work ratio (server-side time
+//!    spent on searches that were answered `504`).
 //!
 //! After phases 1 + 2 the harness also scrapes `/metrics` raw off the
 //! socket, validates it against the exposition-format checker, checks
@@ -49,6 +54,8 @@ fn main() {
     let max_batch = args.usize("max-batch", 64);
     let linger_us = args.u64("linger-us", 100);
     let seed = args.u64("seed", 42);
+    let timeout_ms = args.u64("timeout-ms", 2);
+    let impatient_linger_ms = args.u64("impatient-linger-ms", 5);
     let out_path = args.str("out", "BENCH_serving.json");
     let metrics_out = args.str("metrics-out", "BENCH_serving_metrics.prom");
 
@@ -93,11 +100,31 @@ fn main() {
 
     // Warm up both execution paths (JIT-free, but populates caches and
     // thread-local scratch).
-    run_phase(addr, &queries, dim, 2, 20, k, "direct");
-    run_phase(addr, &queries, dim, 2, 20, k, "batched");
+    run_phase(addr, &queries, dim, 2, 20, k, "direct", 0, 0);
+    run_phase(addr, &queries, dim, 2, 20, k, "batched", 0, 0);
 
-    let direct = run_phase(addr, &queries, dim, connections, requests, k, "direct");
-    let batched = run_phase(addr, &queries, dim, connections, requests, k, "batched");
+    let direct = run_phase(
+        addr,
+        &queries,
+        dim,
+        connections,
+        requests,
+        k,
+        "direct",
+        0,
+        0,
+    );
+    let batched = run_phase(
+        addr,
+        &queries,
+        dim,
+        connections,
+        requests,
+        k,
+        "batched",
+        0,
+        0,
+    );
 
     let stats = fetch_stats(addr);
     let metrics = stats.get("metrics").expect("stats.metrics");
@@ -151,6 +178,8 @@ fn main() {
         requests,
         k,
         "batched",
+        0,
+        0,
     );
     let sat_shed = server
         .metrics()
@@ -160,14 +189,68 @@ fn main() {
     let sat_total = (connections * 3 * requests) as u64;
     let shed_rate = sat_shed as f64 / sat_total as f64;
 
+    // --- Phase 4: impatient clients (tight deadlines + abandonment) --------
+    // A linger longer than the timeout makes queued expiry the common
+    // case; every 8th request's client hangs up without reading. The
+    // server must still answer all of them (the counters prove it), and
+    // the wasted-work ratio says how much search-path time the 504s cost.
+    let mut impatient_config = config.clone();
+    impatient_config.batch.linger = Duration::from_millis(impatient_linger_ms);
+    let server = Server::start(impatient_config, vec![("bench".into(), build("impatient"))])
+        .expect("start impatient server");
+    let imp = run_phase(
+        server.addr(),
+        &queries,
+        dim,
+        connections,
+        requests,
+        k,
+        "batched",
+        timeout_ms,
+        8,
+    );
+    let m = server.metrics();
+    let imp_total = (connections * requests) as u64;
+    // Every admitted request — including the abandoned ones — is
+    // answered; wait for the response counters to account for all.
+    let settle = Instant::now() + Duration::from_secs(30);
+    while m.ok_responses.load(std::sync::atomic::Ordering::Relaxed)
+        + m.client_errors.load(std::sync::atomic::Ordering::Relaxed)
+        + m.server_errors.load(std::sync::atomic::Ordering::Relaxed)
+        < imp_total
+    {
+        assert!(
+            Instant::now() < settle,
+            "abandoned requests were never answered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let deadline_hits = m
+        .deadline_exceeded
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let deadline_hit_rate = deadline_hits as f64 / imp_total as f64;
+    let wasted_us = m.cancelled_after.sum_us();
+    let useful_us = m.search_latency.sum_us();
+    let wasted_work_ratio = if wasted_us + useful_us == 0 {
+        0.0
+    } else {
+        wasted_us as f64 / (wasted_us + useful_us) as f64
+    };
+    server.shutdown();
+    assert!(
+        deadline_hits > 0,
+        "a {timeout_ms}ms timeout under a {impatient_linger_ms}ms linger must expire searches"
+    );
+
     // --- Report ------------------------------------------------------------
     let mut table = Table::new(&[
-        "phase", "conns", "QPS", "p50 us", "p95 us", "p99 us", "ok", "shed",
+        "phase", "conns", "QPS", "p50 us", "p95 us", "p99 us", "ok", "shed", "504",
     ]);
     for (name, conns, phase) in [
         ("direct", connections, &direct),
         ("batched", connections, &batched),
         ("saturation", connections * 3, &sat),
+        ("impatient", connections, &imp),
     ] {
         table.row(&[
             name.into(),
@@ -178,6 +261,7 @@ fn main() {
             format!("{}", phase.p99),
             format!("{}", phase.ok),
             format!("{}", phase.shed),
+            format!("{}", phase.expired),
         ]);
     }
     table.print();
@@ -189,6 +273,13 @@ fn main() {
     println!(
         "saturation: {sat_shed}/{sat_total} shed ({:.1}%), drained clean",
         shed_rate * 100.0
+    );
+    println!(
+        "impatient: {deadline_hits}/{imp_total} deadline-expired ({:.1}%), \
+         {} abandoned, wasted-work ratio {:.3}",
+        deadline_hit_rate * 100.0,
+        imp.abandoned,
+        wasted_work_ratio
     );
     assert!(
         direct.shed == 0 && batched.shed == 0,
@@ -217,6 +308,11 @@ fn main() {
         "direct" => direct.to_json(),
         "batched" => batched.to_json(),
         "saturation" => sat.to_json(),
+        "impatient" => imp.to_json(),
+        "impatient_timeout_ms" => timeout_ms,
+        "impatient_linger_ms" => impatient_linger_ms,
+        "deadline_hit_rate" => deadline_hit_rate,
+        "wasted_work_ratio" => wasted_work_ratio,
         "batching_speedup" => batching_gain,
         "mean_batch_size" => mean_batch,
         "batch_size_histogram" => batch_histogram,
@@ -239,6 +335,11 @@ struct PhaseResult {
     p99: u64,
     ok: u64,
     shed: u64,
+    /// Requests answered `504` (deadline expired) — client-observed, so
+    /// abandoned requests' 504s are not counted here.
+    expired: u64,
+    /// Requests whose client disconnected without reading the answer.
+    abandoned: u64,
 }
 
 impl PhaseResult {
@@ -249,13 +350,21 @@ impl PhaseResult {
             "p95_us" => self.p95,
             "p99_us" => self.p99,
             "ok" => self.ok,
-            "shed" => self.shed
+            "shed" => self.shed,
+            "expired" => self.expired,
+            "abandoned" => self.abandoned
         }
     }
 }
 
 /// Drives `conns` keep-alive connections, each sending `requests`
 /// searches in `mode`, and aggregates exact client-side latencies.
+///
+/// `timeout_ms > 0` attaches that deadline to every search (504s are
+/// tallied as `expired`); `abandon_every > 0` makes each client drop its
+/// connection unread after every that-many-th request — an impatient
+/// client — then reconnect for the next one.
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     addr: SocketAddr,
     queries: &[f32],
@@ -264,6 +373,8 @@ fn run_phase(
     requests: usize,
     k: usize,
     mode: &str,
+    timeout_ms: u64,
+    abandon_every: usize,
 ) -> PhaseResult {
     let n_queries = queries.len() / dim;
     let started = Instant::now();
@@ -277,36 +388,50 @@ fn run_phase(
                 stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
                 let mut buf = Vec::new();
                 let mut latencies = Vec::with_capacity(requests);
-                let (mut ok, mut shed) = (0u64, 0u64);
+                let (mut ok, mut shed, mut expired, mut abandoned) = (0u64, 0u64, 0u64, 0u64);
                 for r in 0..requests {
                     let qi = (c * requests + r) % n_queries;
-                    let body = search_body(&queries[qi * dim..(qi + 1) * dim], k, &mode);
+                    let body =
+                        search_body(&queries[qi * dim..(qi + 1) * dim], k, &mode, timeout_ms);
                     let req = format!(
                         "POST /search HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
                         body.len()
                     );
                     let t0 = Instant::now();
                     stream.write_all(req.as_bytes()).expect("write");
+                    if abandon_every > 0 && (r + 1) % abandon_every == 0 {
+                        // Hang up without reading the answer, like a
+                        // client whose own deadline already fired.
+                        stream = TcpStream::connect(addr).expect("reconnect");
+                        stream.set_nodelay(true).ok();
+                        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+                        buf.clear();
+                        abandoned += 1;
+                        continue;
+                    }
                     let status = read_response(&mut stream, &mut buf);
                     latencies.push(t0.elapsed().as_micros() as u64);
                     match status {
                         200 => ok += 1,
                         429 => shed += 1,
+                        504 => expired += 1,
                         other => panic!("unexpected status {other}"),
                     }
                 }
-                (latencies, ok, shed)
+                (latencies, ok, shed, expired, abandoned)
             })
         })
         .collect();
 
     let mut latencies = Vec::with_capacity(conns * requests);
-    let (mut ok, mut shed) = (0u64, 0u64);
+    let (mut ok, mut shed, mut expired, mut abandoned) = (0u64, 0u64, 0u64, 0u64);
     for t in threads {
-        let (lat, o, s) = t.join().expect("client thread");
+        let (lat, o, s, e, a) = t.join().expect("client thread");
         latencies.extend(lat);
         ok += o;
         shed += s;
+        expired += e;
+        abandoned += a;
     }
     let elapsed = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
@@ -318,13 +443,20 @@ fn run_phase(
         p99: pct(0.99),
         ok,
         shed,
+        expired,
+        abandoned,
     }
 }
 
-fn search_body(vector: &[f32], k: usize, mode: &str) -> String {
+fn search_body(vector: &[f32], k: usize, mode: &str, timeout_ms: u64) -> String {
     let vec_json: Vec<String> = vector.iter().map(|v| format!("{v}")).collect();
+    let timeout = if timeout_ms > 0 {
+        format!(",\"timeout_ms\":{timeout_ms}")
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"vector\":[{}],\"k\":{k},\"mode\":\"{mode}\"}}",
+        "{{\"vector\":[{}],\"k\":{k},\"mode\":\"{mode}\"{timeout}}}",
         vec_json.join(",")
     )
 }

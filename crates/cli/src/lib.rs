@@ -141,7 +141,10 @@ pub fn usage() -> String {
          \x20                    batched searches, admission control);\n\
          \x20                    --slow-query-ms N journals searches >= N ms\n\
          \x20                    (default 0 = off), --events-capacity bounds\n\
-         \x20                    the event journal (default 256)\n\
+         \x20                    the event journal (default 256),\n\
+         \x20                    --timeout-ms N default search deadline\n\
+         \x20                    (default 0 = none), --max-timeout-ms N caps\n\
+         \x20                    client timeouts (default 60000, 0 = no cap)\n\
          \x20 events             dump a collection's event journal (seals,\n\
          \x20                    compactions, quarantines, slow queries)\n\
          \n\
@@ -753,6 +756,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     config.batch.queue_depth = flags.usize_or("queue-depth", 256)?;
     config.slow_query_ms = flags.u64_or("slow-query-ms", config.slow_query_ms)?;
     config.events_capacity = flags.usize_or("events-capacity", config.events_capacity)?;
+    config.default_timeout_ms = flags.u64_or("timeout-ms", config.default_timeout_ms)?;
+    config.max_timeout_ms = flags.u64_or("max-timeout-ms", config.max_timeout_ms)?;
     let duration_ms = flags.u64_or("duration-ms", 0)?;
 
     let (live, segments) = (collection.len(), collection.n_segments());
@@ -1241,10 +1246,28 @@ mod tests {
             "25",
             "--events-capacity",
             "64",
+            "--timeout-ms",
+            "250",
+            "--max-timeout-ms",
+            "30000",
             "--duration-ms",
             "50",
         ]))
         .unwrap();
+        // A non-numeric deadline flag is a clean parse error too.
+        let err = run(&args(&[
+            "serve",
+            "--dir",
+            coll.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--timeout-ms",
+            "soon",
+            "--duration-ms",
+            "10",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("timeout-ms"), "{err}");
         // A non-numeric observability flag is a clean parse error.
         let err = run(&args(&[
             "serve",

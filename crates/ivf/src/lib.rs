@@ -8,12 +8,14 @@
 //! * [`IvfPq`] — the PQ/OPQ baseline with residual encoding, f32 or
 //!   u8-fast-scan LUT scans, and conventional fixed-count re-ranking.
 
+pub mod cancel;
 pub mod common;
 pub mod flat;
 pub mod mips;
 pub mod pq_ivf;
 pub mod rabitq_ivf;
 
+pub use cancel::CancelToken;
 pub use common::{IvfConfig, RerankStrategy, SearchResult, TopK};
 pub use flat::{FlatRabitq, RangeResult};
 pub use mips::{FlatMips, MipsResult};

@@ -13,6 +13,7 @@
 //! `ε₀ = 1.9` the true nearest neighbors of the probed buckets reach
 //! re-ranking with near-certainty — no tuning parameter exists.
 
+use crate::cancel::CancelToken;
 use crate::common::{IvfConfig, RerankStrategy, SearchResult, TopK};
 use rabitq_core::{CodeSet, DistanceEstimate, PackedCodes, QueryScratch, Rabitq, RabitqConfig};
 use rabitq_kmeans::{train as kmeans_train, KMeans, KMeansConfig};
@@ -352,11 +353,45 @@ impl IvfRabitq {
         scratch: &mut SearchScratch,
         rng: &mut R,
     ) -> (usize, usize) {
+        self.search_into_cancellable(
+            query,
+            k,
+            nprobe,
+            strategy,
+            scratch,
+            rng,
+            &CancelToken::none(),
+        )
+        .expect("a never-cancelling token cannot cancel")
+    }
+
+    /// [`IvfRabitq::search_into`] with cooperative cancellation: the
+    /// token is polled at every probed-bucket boundary (the scan's
+    /// natural checkpoint — coarse enough to stay off the per-code hot
+    /// path, fine enough that an expired deadline stops the query within
+    /// one bucket's worth of work). Returns `None` if the token
+    /// cancelled before the scan finished; `scratch.neighbors` is then
+    /// cleared (partial candidates are discarded, never returned) and
+    /// `scratch.stages` holds the time spent up to the bail-out.
+    ///
+    /// A completed scan (`Some`) is bit-identical to [`IvfRabitq::search_into`]
+    /// with the same RNG stream: the checkpoints only read the token.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_into_cancellable<R: Rng + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        strategy: RerankStrategy,
+        scratch: &mut SearchScratch,
+        rng: &mut R,
+        cancel: &CancelToken,
+    ) -> Option<(usize, usize)> {
         assert_eq!(query.len(), self.dim, "query dimensionality");
         scratch.neighbors.clear();
         scratch.stages.clear();
         if self.is_empty() || k == 0 {
-            return (0, 0);
+            return Some((0, 0));
         }
         let padded = self.quantizer.padded_dim();
         // Stage tracing: `Instant::now()` is a vDSO clock read — no
@@ -380,6 +415,10 @@ impl IvfRabitq {
                 };
                 scratch.top.reset(k);
                 for pi in 0..scratch.probes.len() {
+                    if cancel.is_cancelled() {
+                        scratch.neighbors.clear();
+                        return None;
+                    }
                     let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
@@ -421,6 +460,10 @@ impl IvfRabitq {
             RerankStrategy::TopCandidates(rerank_n) => {
                 scratch.pool.clear();
                 for pi in 0..scratch.probes.len() {
+                    if cancel.is_cancelled() {
+                        scratch.neighbors.clear();
+                        return None;
+                    }
                     let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
@@ -472,6 +515,10 @@ impl IvfRabitq {
             RerankStrategy::None => {
                 scratch.top.reset(k);
                 for pi in 0..scratch.probes.len() {
+                    if cancel.is_cancelled() {
+                        scratch.neighbors.clear();
+                        return None;
+                    }
                     let c = scratch.probes[pi].0;
                     let bucket = &self.buckets[c];
                     if bucket.ids.is_empty() {
@@ -505,7 +552,7 @@ impl IvfRabitq {
         }
         scratch.top.drain_sorted_into(&mut scratch.neighbors);
         lap(&mut scratch.stages, Stage::Merge, t);
-        (n_estimated, n_reranked)
+        Some((n_estimated, n_reranked))
     }
 
     #[inline]
@@ -962,6 +1009,73 @@ mod tests {
         assert_eq!(hits, 512, "every id removed exactly once across threads");
         assert_eq!(index.n_deleted(), 512);
         assert_eq!(index.n_live(), 0);
+    }
+
+    #[test]
+    fn cancelled_token_bails_without_results() {
+        let ds = dataset(1000, 32);
+        let index = build(&ds, 8);
+        let mut scratch = SearchScratch::new();
+        let token = CancelToken::new();
+        token.cancel();
+        for strategy in [
+            RerankStrategy::ErrorBound,
+            RerankStrategy::TopCandidates(100),
+            RerankStrategy::None,
+        ] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let got = index.search_into_cancellable(
+                ds.query(0),
+                5,
+                8,
+                strategy,
+                &mut scratch,
+                &mut rng,
+                &token,
+            );
+            assert!(got.is_none(), "{strategy:?} must observe cancellation");
+            assert!(
+                scratch.neighbors.is_empty(),
+                "partial candidates must not leak"
+            );
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_search_bit_for_bit() {
+        let ds = dataset(1200, 32);
+        let index = build(&ds, 8);
+        let mut scratch_a = SearchScratch::new();
+        let mut scratch_b = SearchScratch::new();
+        let token = CancelToken::with_deadline(
+            std::time::Instant::now() + std::time::Duration::from_secs(3600),
+        );
+        for qi in 0..ds.n_queries() {
+            let seed = 3000 + qi as u64;
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let plain = index.search_into(
+                ds.query(qi),
+                5,
+                8,
+                RerankStrategy::ErrorBound,
+                &mut scratch_a,
+                &mut rng_a,
+            );
+            let cancellable = index
+                .search_into_cancellable(
+                    ds.query(qi),
+                    5,
+                    8,
+                    RerankStrategy::ErrorBound,
+                    &mut scratch_b,
+                    &mut rng_b,
+                    &token,
+                )
+                .expect("far deadline never cancels");
+            assert_eq!(plain, cancellable, "query {qi}");
+            assert_eq!(scratch_a.neighbors, scratch_b.neighbors, "query {qi}");
+        }
     }
 
     #[test]

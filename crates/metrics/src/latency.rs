@@ -307,6 +307,57 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_merge_and_record_lose_no_samples() {
+        // Recorders hammer the shared histogram while merger threads fold
+        // pre-filled per-worker histograms into it — the pattern the serve
+        // layer uses when draining worker-local stats. Every sample must
+        // land exactly once: counts, sums, and bucket totals all conserve.
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let sources: Vec<std::sync::Arc<LatencyHistogram>> = (0..3)
+            .map(|s| {
+                let src = LatencyHistogram::new();
+                for i in 0..500u64 {
+                    src.record_us(s * 10_000 + i);
+                }
+                std::sync::Arc::new(src)
+            })
+            .collect();
+        let expected_sum: u64 = (0..4u64)
+            .flat_map(|t| (0..1000u64).map(move |i| t * 1000 + i))
+            .sum::<u64>()
+            + sources.iter().map(|s| s.sum_us()).sum::<u64>();
+
+        let mut threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_us(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for src in &sources {
+            let (h, src) = (h.clone(), src.clone());
+            threads.push(std::thread::spawn(move || h.merge(&src)));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        assert_eq!(h.count(), 4 * 1000 + 3 * 500);
+        assert_eq!(h.sum_us(), expected_sum);
+        // The per-bucket counts agree with the total — no sample was
+        // double-counted or dropped by a merge racing a record.
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, h.count());
+        // The sources themselves are untouched by the merges.
+        for src in &sources {
+            assert_eq!(src.count(), 500);
+        }
+    }
+
+    #[test]
     fn merging_an_empty_histogram_is_identity() {
         let a = LatencyHistogram::new();
         a.record_us(7);

@@ -30,12 +30,24 @@
 //!   queued request with `Failed` and flags the worker dead so later
 //!   submissions fail fast — a submitter never blocks on a worker that
 //!   can no longer answer.
+//!
+//! ## Deadlines
+//!
+//! A submission may carry a deadline (stamped by the router at
+//! admission). Expired entries are answered [`SubmitError::Expired`]
+//! (HTTP `504`) **before** dispatch — queue time counts against the
+//! deadline, and a request nobody is waiting for never spends a batch
+//! slot. Entries whose deadline passes mid-scan are cooperatively
+//! cancelled inside `search_many_cancellable` at per-probe checkpoints;
+//! cancellation is per-query, so an expired request never perturbs its
+//! batchmates (their results stay bit-identical to an all-healthy run).
 
 use crate::metrics::ServerMetrics;
 use rabitq_ivf::SearchResult;
-use rabitq_store::{CollectionReader, ParallelOptions};
+use rabitq_store::{CancelToken, CollectionReader, ParallelOptions, SearchOutcome};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,6 +90,9 @@ pub enum SubmitError {
     /// Batch execution panicked, or the batch worker died (`500`). The
     /// request was admitted but could not be answered with a result.
     Failed,
+    /// The request's deadline passed before a result was produced
+    /// (`504`) — at admission, while queued, or mid-scan.
+    Expired,
 }
 
 /// One admitted search waiting for its batch.
@@ -85,6 +100,9 @@ struct Pending {
     query: Vec<f32>,
     k: usize,
     nprobe: usize,
+    /// Trips when the request's deadline passes; checked before dispatch
+    /// and at every scan checkpoint.
+    token: CancelToken,
     slot: Arc<Slot>,
 }
 
@@ -171,13 +189,23 @@ impl Batcher {
     }
 
     /// Submits one search and blocks until its batch executes. Fails fast
-    /// (without blocking) when the queue is full or shutdown has begun.
+    /// (without blocking) when the queue is full, shutdown has begun, or
+    /// `deadline` has already passed.
     pub fn submit(
         &self,
         query: Vec<f32>,
         k: usize,
         nprobe: usize,
+        deadline: Option<Instant>,
     ) -> Result<SearchResult, SubmitError> {
+        let token = deadline.map_or_else(CancelToken::none, CancelToken::with_deadline);
+        if token.is_cancelled() {
+            self.shared
+                .metrics
+                .expired_in_queue
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Expired);
+        }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
             ready: Condvar::new(),
@@ -197,6 +225,7 @@ impl Batcher {
                 query,
                 k,
                 nprobe,
+                token,
                 slot: slot.clone(),
             });
         }
@@ -301,8 +330,21 @@ fn batch_loop(shared: &Shared) {
         }
 
         let take = state.queue.len().min(config.max_batch);
-        let batch: Vec<Pending> = state.queue.drain(..take).collect();
+        let drained: Vec<Pending> = state.queue.drain(..take).collect();
         drop(state);
+
+        // Queue time counted against the deadline: entries that expired
+        // while waiting are answered 504 here, before dispatch, so no
+        // scan work is spent on an answer nobody is waiting for.
+        let (batch, expired): (Vec<Pending>, Vec<Pending>) =
+            drained.into_iter().partition(|p| !p.token.is_cancelled());
+        for p in &expired {
+            shared
+                .metrics
+                .expired_in_queue
+                .fetch_add(1, Ordering::Relaxed);
+            p.slot.answer(Err(SubmitError::Expired));
+        }
 
         // Panic isolation: a panic inside search execution (bad index
         // state, assertion in search_many, …) must not kill the worker —
@@ -326,8 +368,10 @@ fn batch_loop(shared: &Shared) {
     }
 }
 
-/// Runs one drained batch: group by `(k, nprobe)`, one `search_many` per
-/// group, answer every slot.
+/// Runs one drained batch: group by `(k, nprobe)`, one cancellable
+/// `search_many` per group, answer every slot. A query whose deadline
+/// passes mid-scan comes back `Cancelled` and is answered `Expired`,
+/// without perturbing its batchmates.
 fn execute(shared: &Shared, batch: &[Pending]) {
     if batch.is_empty() {
         return;
@@ -348,16 +392,27 @@ fn execute(shared: &Shared, batch: &[Pending]) {
 
     for ((k, nprobe), members) in groups {
         let mut queries = Vec::with_capacity(members.len() * dim);
+        let mut tokens = Vec::with_capacity(members.len());
         for &i in &members {
             queries.extend_from_slice(&batch[i].query);
+            tokens.push(batch[i].token.clone());
         }
         let opts = ParallelOptions {
             threads: shared.config.search_threads,
             seed: shared.config.seed,
         };
-        let results = snapshot.search_many(&queries, k, nprobe, opts);
-        for (&i, result) in members.iter().zip(results) {
-            batch[i].slot.answer(Ok(result));
+        let outcomes = snapshot.search_many_cancellable(&queries, k, nprobe, opts, &tokens);
+        for (&i, outcome) in members.iter().zip(outcomes) {
+            match outcome {
+                SearchOutcome::Done(result) => batch[i].slot.answer(Ok(result)),
+                SearchOutcome::Cancelled => {
+                    shared
+                        .metrics
+                        .cancelled_mid_scan
+                        .fetch_add(1, Ordering::Relaxed);
+                    batch[i].slot.answer(Err(SubmitError::Expired));
+                }
+            }
         }
     }
 }
@@ -401,7 +456,7 @@ mod tests {
                 let batcher = batcher.clone();
                 std::thread::spawn(move || {
                     let q: Vec<f32> = (0..4).map(|d| (i * 4 + d) as f32 * 0.01).collect();
-                    batcher.submit(q, 3, 4).unwrap()
+                    batcher.submit(q, 3, 4, None).unwrap()
                 })
             })
             .collect();
@@ -435,7 +490,7 @@ mod tests {
         let clients: Vec<_> = (0..12)
             .map(|_| {
                 let batcher = batcher.clone();
-                std::thread::spawn(move || batcher.submit(vec![0.0; 4], 1, 2))
+                std::thread::spawn(move || batcher.submit(vec![0.0; 4], 1, 2, None))
             })
             .collect();
         let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
@@ -466,11 +521,61 @@ mod tests {
         // A 3-float query against a dim-4 collection trips search_many's
         // "n × dim" assertion inside the batch worker.
         assert!(matches!(
-            batcher.submit(vec![0.0; 3], 1, 2),
+            batcher.submit(vec![0.0; 3], 1, 2, None),
             Err(SubmitError::Failed)
         ));
         // The worker survived the panic: a valid submission still works.
-        let res = batcher.submit(vec![0.0; 4], 1, 2).unwrap();
+        let res = batcher.submit(vec![0.0; 4], 1, 2, None).unwrap();
+        assert_eq!(res.neighbors.len(), 1);
+        batcher.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expired_deadlines_answer_504_without_dispatch() {
+        let dir = std::env::temp_dir().join(format!("batcher-deadline-{}", std::process::id()));
+        let (_collection, reader) = test_reader(&dir, 4, 16);
+        let metrics = Arc::new(ServerMetrics::new());
+        let batcher = Batcher::start(
+            reader,
+            BatchConfig {
+                linger: Duration::from_millis(50),
+                search_threads: 1,
+                ..BatchConfig::default()
+            },
+            metrics.clone(),
+        );
+        // Already dead at admission: rejected before touching the queue.
+        assert!(matches!(
+            batcher.submit(
+                vec![0.0; 4],
+                1,
+                2,
+                Some(Instant::now() - Duration::from_millis(1)),
+            ),
+            Err(SubmitError::Expired)
+        ));
+        // Dies while lingering in the queue: dropped before dispatch.
+        assert!(matches!(
+            batcher.submit(
+                vec![0.0; 4],
+                1,
+                2,
+                Some(Instant::now() + Duration::from_millis(2)),
+            ),
+            Err(SubmitError::Expired)
+        ));
+        assert_eq!(metrics.expired_in_queue.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.cancelled_mid_scan.load(Ordering::Relaxed), 0);
+        // A generous deadline still gets a real answer.
+        let res = batcher
+            .submit(
+                vec![0.0; 4],
+                1,
+                2,
+                Some(Instant::now() + Duration::from_secs(60)),
+            )
+            .unwrap();
         assert_eq!(res.neighbors.len(), 1);
         batcher.shutdown();
         std::fs::remove_dir_all(&dir).ok();
@@ -494,7 +599,7 @@ mod tests {
         let clients: Vec<_> = (0..8)
             .map(|_| {
                 let batcher = batcher.clone();
-                std::thread::spawn(move || batcher.submit(vec![0.0; 4], 1, 2))
+                std::thread::spawn(move || batcher.submit(vec![0.0; 4], 1, 2, None))
             })
             .collect();
         // Let them enqueue into the lingering batch, then shut down.
@@ -513,7 +618,7 @@ mod tests {
         }
         // Post-shutdown submissions are rejected.
         assert!(matches!(
-            batcher.submit(vec![0.0; 4], 1, 2),
+            batcher.submit(vec![0.0; 4], 1, 2, None),
             Err(SubmitError::ShuttingDown)
         ));
         std::fs::remove_dir_all(&dir).ok();

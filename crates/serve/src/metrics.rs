@@ -31,6 +31,20 @@ pub struct ServerMetrics {
     /// Mutations answered `503` because the collection is read-only
     /// (frozen after a write-path storage fault or by an operator).
     pub rejected_read_only: AtomicU64,
+    /// Searches answered `504` because their deadline passed (at any
+    /// stage: admission, queued, or mid-scan).
+    pub deadline_exceeded: AtomicU64,
+    /// Deadline-expired searches dropped before their batch dispatched
+    /// (at admission or while queued) — no search work was wasted.
+    pub expired_in_queue: AtomicU64,
+    /// Searches cooperatively cancelled mid-scan by their deadline: the
+    /// scan bailed at a checkpoint instead of running to completion.
+    pub cancelled_mid_scan: AtomicU64,
+    /// How long a `504`ed search had been in flight when the server
+    /// observed its cancellation, µs. A histogram dominated by values
+    /// near the configured timeout means cancellation is prompt; a long
+    /// tail means checkpoints are too coarse.
+    pub cancelled_after: LatencyHistogram,
     /// Vectors inserted.
     pub inserts: AtomicU64,
     /// Tombstones applied.
@@ -65,6 +79,10 @@ impl ServerMetrics {
             shed_overload: AtomicU64::new(0),
             shed_unavailable: AtomicU64::new(0),
             rejected_read_only: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            expired_in_queue: AtomicU64::new(0),
+            cancelled_mid_scan: AtomicU64::new(0),
+            cancelled_after: LatencyHistogram::new(),
             inserts: AtomicU64::new(0),
             deletes: AtomicU64::new(0),
             search_latency: LatencyHistogram::new(),
@@ -135,6 +153,14 @@ impl ServerMetrics {
             "shed_overload" => self.shed_overload.load(Ordering::Relaxed),
             "shed_unavailable" => self.shed_unavailable.load(Ordering::Relaxed),
             "rejected_read_only" => self.rejected_read_only.load(Ordering::Relaxed),
+            "deadline_exceeded" => self.deadline_exceeded.load(Ordering::Relaxed),
+            "expired_in_queue" => self.expired_in_queue.load(Ordering::Relaxed),
+            "cancelled_mid_scan" => self.cancelled_mid_scan.load(Ordering::Relaxed),
+            "cancelled_after_us" => json_obj! {
+                "count" => self.cancelled_after.count(),
+                "mean" => self.cancelled_after.mean_us(),
+                "p99" => self.cancelled_after.quantile_us(0.99)
+            },
             "inserts" => self.inserts.load(Ordering::Relaxed),
             "deletes" => self.deletes.load(Ordering::Relaxed),
             "search_latency_us" => json_obj! {

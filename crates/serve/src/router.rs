@@ -2,10 +2,10 @@
 //!
 //! | Route | Method | Body | Response |
 //! |---|---|---|---|
-//! | `/healthz` | GET | — | `{"status":"ok"|"degraded","read_only":…,"degraded":…,"uptime_ms":…,"version":…,"kernel":…}` |
+//! | `/healthz` | GET | — | `{"status":"ok"|"degraded"|"draining","read_only":…,"degraded":…,"draining":…,"uptime_ms":…,"version":…,"kernel":…}` |
 //! | `/stats` | GET | — | metrics + per-collection sizes, health, store counters, event journal |
 //! | `/metrics` | GET | — | Prometheus text exposition (`text/plain; version=0.0.4`) |
-//! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?}` | `{"neighbors":[{"id","distance"}…],…}`; `?debug=timings` adds `timings_us` |
+//! | `/collections/:name/search` | POST | `{"vector":[…], "k"?, "nprobe"?, "mode"?, "timeout_ms"?}` | `{"neighbors":[{"id","distance"}…],…}`; `?debug=timings` adds `timings_us` |
 //! | `/collections/:name/insert` | POST | `{"vector":[…]}` or `{"vectors":[[…]…]}` | `{"ids":[…]}` |
 //! | `/collections/:name/delete` | POST | `{"id":n}` or `{"ids":[…]}` | `{"deleted":n}` |
 //! | `/search`, `/insert`, `/delete` | POST | as above | against the default collection |
@@ -14,6 +14,13 @@
 //! and the coalescing batcher) or `"direct"` (execute on the caller's
 //! thread) — defaulting to the server's `batching` config. Direct mode is
 //! the per-request baseline the load harness compares batching against.
+//!
+//! `"timeout_ms"` sets the search's end-to-end deadline, stamped at
+//! admission (default `ServeConfig::default_timeout_ms`, clamped to
+//! `max_timeout_ms`; `0` disables). An expired search is answered `504`:
+//! dropped from the queue before dispatch when possible, otherwise
+//! cooperatively cancelled mid-scan at the next checkpoint — without
+//! perturbing the batchmates it was coalesced with.
 //!
 //! A collection that opened **degraded** (quarantined segments) or froze
 //! **read-only** (write-path storage fault) keeps serving searches;
@@ -31,11 +38,11 @@ use rabitq_core::hw;
 use rabitq_ivf::SearchResult;
 use rabitq_metrics::timer::time_once;
 use rabitq_metrics::{EventJournal, PromEncoder, Stage, StageNanos};
-use rabitq_store::StoreMetrics;
+use rabitq_store::{CancelToken, ParallelOptions, SearchOutcome, StoreMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Dispatches one request.
 pub(crate) fn handle(state: &ServerState, req: &Request) -> Response {
@@ -76,7 +83,9 @@ fn method(req: &Request, want: &str, f: impl FnOnce(&Request) -> Response) -> Re
 
 /// Liveness with nuance: the server keeps answering `200` while any
 /// collection is degraded or read-only — it *is* serving — but the body
-/// says `"degraded"` so a probe can tell wounded from healthy.
+/// says `"degraded"` so a probe can tell wounded from healthy, and
+/// `"draining"` during graceful shutdown so load balancers stop routing
+/// new traffic while in-flight requests finish.
 fn healthz(state: &ServerState) -> Response {
     let mut degraded = false;
     let mut read_only = false;
@@ -85,7 +94,10 @@ fn healthz(state: &ServerState) -> Response {
         degraded |= health.degraded;
         read_only |= health.read_only;
     }
-    let status = if degraded || read_only {
+    let draining = state.shutdown.load(Ordering::Relaxed);
+    let status = if draining {
+        "draining"
+    } else if degraded || read_only {
         "degraded"
     } else {
         "ok"
@@ -94,6 +106,7 @@ fn healthz(state: &ServerState) -> Response {
         "status" => status,
         "degraded" => degraded,
         "read_only" => read_only,
+        "draining" => draining,
         "uptime_ms" => state.started.elapsed().as_millis() as u64,
         "version" => env!("CARGO_PKG_VERSION"),
         "kernel" => hw::active_kernel()
@@ -185,6 +198,30 @@ fn metrics_text(state: &ServerState) -> Response {
         "Mutations rejected because the collection is read-only.",
         &[],
         m.rejected_read_only.load(Ordering::Relaxed),
+    );
+    enc.counter(
+        "rabitq_deadline_exceeded_total",
+        "Searches answered 504 because their deadline passed.",
+        &[],
+        m.deadline_exceeded.load(Ordering::Relaxed),
+    );
+    for (stage, counter) in [
+        ("queue", &m.expired_in_queue),
+        ("scan", &m.cancelled_mid_scan),
+    ] {
+        enc.counter(
+            "rabitq_deadline_stage_total",
+            "Where deadline-expired searches were cancelled: dropped from \
+             the queue before dispatch, or cooperatively mid-scan.",
+            &[("stage", stage)],
+            counter.load(Ordering::Relaxed),
+        );
+    }
+    enc.histogram_us(
+        "rabitq_cancelled_after_seconds",
+        "Time a deadline-exceeded search had consumed when its cancellation was observed.",
+        &[],
+        &m.cancelled_after,
     );
     enc.counter(
         "rabitq_inserts_total",
@@ -313,6 +350,16 @@ fn metrics_text(state: &ServerState) -> Response {
                 &store.read_only_flips,
             ),
             (
+                "rabitq_store_io_retries_total",
+                "Transient write-path I/O faults absorbed by backoff-retry.",
+                &store.io_retries,
+            ),
+            (
+                "rabitq_store_thaws_total",
+                "Read-only-to-healthy recoveries after a successful thaw probe.",
+                &store.thaws,
+            ),
+            (
                 "rabitq_store_publishes_total",
                 "Snapshots published.",
                 &store.publishes,
@@ -401,6 +448,8 @@ fn store_json(m: &StoreMetrics) -> Json {
         "compaction_bytes_out" => StoreMetrics::get(&m.compaction_bytes_out),
         "quarantines" => StoreMetrics::get(&m.quarantines),
         "read_only_flips" => StoreMetrics::get(&m.read_only_flips),
+        "io_retries" => StoreMetrics::get(&m.io_retries),
+        "thaws" => StoreMetrics::get(&m.thaws),
         "publishes" => StoreMetrics::get(&m.publishes)
     }
 }
@@ -488,10 +537,27 @@ fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
             return Response::error(400, &format!("unknown mode {other:?}"));
         }
     };
+    // The deadline is stamped *here*, at admission: queueing, batching,
+    // and scan time all count against it.
+    let timeout_ms = match body.get("timeout_ms") {
+        None => state.config.default_timeout_ms,
+        Some(v) => match v.as_u64() {
+            Some(n) => n,
+            None => {
+                return Response::error(400, "\"timeout_ms\" must be a non-negative integer");
+            }
+        },
+    };
+    let timeout_ms = if state.config.max_timeout_ms > 0 && timeout_ms > 0 {
+        timeout_ms.min(state.config.max_timeout_ms)
+    } else {
+        timeout_ms
+    };
+    let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
 
     let (outcome, elapsed) = time_once(|| {
         if batched {
-            match served.batcher.submit(query, k, nprobe) {
+            match served.batcher.submit(query, k, nprobe, deadline) {
                 Ok(r) => Ok(r),
                 Err(SubmitError::Overloaded) => {
                     state.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
@@ -505,18 +571,54 @@ fn search(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                     Err(Response::error(503, "server is shutting down"))
                 }
                 Err(SubmitError::Failed) => Err(Response::error(500, "search execution failed")),
+                Err(SubmitError::Expired) => Err(Response::error(504, "deadline exceeded")),
             }
         } else {
             // Direct per-request execution on this worker thread: the
             // unbatched baseline. Snapshot load + serial search.
             let seq = state.direct_seq.fetch_add(1, Ordering::Relaxed);
-            let mut rng = StdRng::seed_from_u64(state.config.batch.seed ^ seq);
-            Ok(served.reader.search(&query, k, nprobe, &mut rng))
+            match deadline {
+                None => {
+                    let mut rng = StdRng::seed_from_u64(state.config.batch.seed ^ seq);
+                    Ok(served.reader.search(&query, k, nprobe, &mut rng))
+                }
+                Some(d) => {
+                    // With a deadline the direct path goes through the
+                    // cancellable snapshot search so an expired query
+                    // bails at the next checkpoint instead of running
+                    // the scan to completion.
+                    let token = CancelToken::with_deadline(d);
+                    let opts = ParallelOptions {
+                        threads: 1,
+                        seed: state.config.batch.seed ^ seq,
+                    };
+                    let snapshot = served.reader.snapshot();
+                    match snapshot.search_parallel_cancellable(&query, k, nprobe, opts, &token) {
+                        SearchOutcome::Done(r) => Ok(r),
+                        SearchOutcome::Cancelled => {
+                            state
+                                .metrics
+                                .cancelled_mid_scan
+                                .fetch_add(1, Ordering::Relaxed);
+                            Err(Response::error(504, "deadline exceeded"))
+                        }
+                    }
+                }
+            }
         }
     });
     let result = match outcome {
         Ok(r) => r,
-        Err(resp) => return resp,
+        Err(resp) => {
+            if resp.status == 504 {
+                state
+                    .metrics
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                state.metrics.cancelled_after.record(elapsed);
+            }
+            return resp;
+        }
     };
     state.metrics.search_latency.record(elapsed);
     state.metrics.stages.record(&result.stages);
@@ -643,9 +745,11 @@ fn insert(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                     "inserted_ids" => ids_json
                 }
                 .encode();
-                return if e.is_read_only() {
-                    // Retryable against a healthy replica, not a server
-                    // bug: the collection froze itself to protect data.
+                // Retryable (503) when the collection is read-only —
+                // either it already was, or this very failure exhausted
+                // the retry budget and froze it. Both mean "try a healthy
+                // replica", not "server bug".
+                return if e.is_read_only() || served.reader.health().read_only {
                     state
                         .metrics
                         .rejected_read_only
@@ -698,7 +802,7 @@ fn delete(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
                 drop(writer);
                 state.metrics.deletes.fetch_add(deleted, Ordering::Relaxed);
                 let msg = format!("delete failed after {deleted}: {e}");
-                return if e.is_read_only() {
+                return if e.is_read_only() || served.reader.health().read_only {
                     state
                         .metrics
                         .rejected_read_only
@@ -713,4 +817,65 @@ fn delete(state: &ServerState, served: &ServedCollection, req: &Request) -> Resp
     drop(writer);
     state.metrics.deletes.fetch_add(deleted, Ordering::Relaxed);
     Response::json(200, json_obj! {"deleted" => deleted}.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{BatchConfig, Batcher};
+    use crate::metrics::ServerMetrics;
+    use crate::server::{ServeConfig, ServedCollection, ServerState};
+    use rabitq_store::{Collection, CollectionConfig};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::{Arc, Mutex};
+
+    fn test_state(dir: &std::path::Path) -> ServerState {
+        std::fs::remove_dir_all(dir).ok();
+        let collection = Collection::open(dir, CollectionConfig::new(4)).unwrap();
+        let metrics = Arc::new(ServerMetrics::new());
+        let reader = collection.reader();
+        let batcher = Batcher::start(reader.clone(), BatchConfig::default(), metrics.clone());
+        let mut collections = HashMap::new();
+        collections.insert(
+            "test".to_string(),
+            Arc::new(ServedCollection {
+                writer: Mutex::new(collection),
+                reader,
+                batcher,
+            }),
+        );
+        ServerState {
+            config: ServeConfig::default(),
+            collections,
+            default_name: "test".into(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            direct_seq: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_draining_during_shutdown() {
+        let dir = std::env::temp_dir().join(format!("router-draining-{}", std::process::id()));
+        let state = test_state(&dir);
+
+        let before = healthz(&state);
+        let body = Json::parse(std::str::from_utf8(&before.body).unwrap()).unwrap();
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(body.get("draining").and_then(Json::as_bool), Some(false));
+
+        state.shutdown.store(true, Ordering::Relaxed);
+        let during = healthz(&state);
+        assert_eq!(during.status, 200, "a draining server is still alive");
+        let body = Json::parse(std::str::from_utf8(&during.body).unwrap()).unwrap();
+        assert_eq!(
+            body.get("status").and_then(Json::as_str),
+            Some("draining"),
+            "draining must be distinct from ok/degraded"
+        );
+        assert_eq!(body.get("draining").and_then(Json::as_bool), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

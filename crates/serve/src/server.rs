@@ -86,6 +86,14 @@ pub struct ServeConfig {
     /// Capacity of each collection's in-memory event journal (applied at
     /// startup; open-time events are preserved).
     pub events_capacity: usize,
+    /// Default search deadline, milliseconds, applied when a request
+    /// omits `timeout_ms`. `0` means no deadline. The deadline is stamped
+    /// at admission; an expired search is answered `504` — dropped from
+    /// the queue before dispatch, or cooperatively cancelled mid-scan.
+    pub default_timeout_ms: u64,
+    /// Upper bound a request's `timeout_ms` is clamped to (`0` disables
+    /// the cap). Keeps one client from opting out of deadline discipline.
+    pub max_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +115,8 @@ impl Default for ServeConfig {
             idle_timeout_ticks: 600,
             slow_query_ms: 0,
             events_capacity: 256,
+            default_timeout_ms: 0,
+            max_timeout_ms: 60_000,
         }
     }
 }

@@ -27,11 +27,17 @@
 //!   renamed aside (`.quarantined`), dropped from the manifest, noted in
 //!   the health report — and the collection opens **degraded**, serving
 //!   the remaining segments and the memtable;
-//! * a write-path I/O error (torn write, failed fsync, `EIO`, `ENOSPC`)
-//!   flips the collection **read-only**: searches keep working on the
-//!   last consistent state, mutations return the typed
-//!   [`StoreError::ReadOnly`], and a reopen on healthy storage resumes
-//!   writes — in-memory state is never left half-applied;
+//! * a *transient* write-path I/O error (`EIO`, `ENOSPC`, `EINTR`) is
+//!   retried with bounded exponential backoff before anyone notices;
+//!   only exhausted retries (or a non-transient fault: torn write,
+//!   failed fsync) flip the collection **read-only**: searches keep
+//!   working on the last consistent state, mutations return the typed
+//!   [`StoreError::ReadOnly`], and in-memory state is never left
+//!   half-applied. A fault-induced freeze is not permanent: after a
+//!   cooldown the next mutation probes the write path and, if storage
+//!   healed, the collection **thaws** itself (journaled `read_only` →
+//!   `recovered`, counted in `thaws`). A reopen on healthy storage also
+//!   resumes writes, and operator freezes never auto-thaw;
 //! * stray `*.tmp` staging files and segment files no longer referenced
 //!   by the manifest (crash mid-seal / mid-compaction) are removed on
 //!   open.
@@ -75,7 +81,7 @@ use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// File name of the write-ahead log within a collection directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -99,6 +105,17 @@ pub struct CollectionConfig {
     pub policy: CompactionPolicy,
     /// Run the policy automatically after every seal.
     pub auto_compact: bool,
+    /// Extra attempts after a *transient* write-path I/O error (`EIO`,
+    /// `ENOSPC`, `EINTR`) before the collection freezes read-only.
+    /// 0 restores the freeze-on-first-error behavior.
+    pub io_retry_attempts: u32,
+    /// Base delay of the exponential retry backoff (doubled per attempt,
+    /// plus deterministic jitter below one base unit).
+    pub io_retry_base: Duration,
+    /// Minimum time a fault-frozen collection stays frozen before the
+    /// recovery probe re-tests the write path (and between probes). A
+    /// successful probe thaws the collection automatically.
+    pub thaw_cooldown: Duration,
 }
 
 impl CollectionConfig {
@@ -111,6 +128,9 @@ impl CollectionConfig {
             ivf: IvfConfig::new(1),
             policy: CompactionPolicy::default(),
             auto_compact: true,
+            io_retry_attempts: 3,
+            io_retry_base: Duration::from_millis(1),
+            thaw_cooldown: Duration::from_secs(1),
         }
     }
 }
@@ -148,22 +168,64 @@ fn segment_meta(segment: &Segment) -> SegmentMeta {
     }
 }
 
-/// Runs a durable-write step; on failure the collection is flipped
-/// read-only (first failure keeps its reason) and the error is returned
-/// typed. Free function so field borrows stay disjoint at call sites.
-fn freeze_on_err<T>(
+/// Whether an I/O error is worth retrying: the kinds a disk or kernel
+/// reports for *momentary* conditions. `EIO` and `ENOSPC` both clear in
+/// practice (a controller hiccup, a log rotation freeing space); `EINTR`
+/// is transient by definition. Torn/short writes and failed fsyncs are
+/// *not* retried — they may have left partial bytes behind, so blindly
+/// re-running the write could compound the damage.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(5) | Some(28)) || e.kind() == io::ErrorKind::Interrupted
+}
+
+/// Exponential backoff with deterministic jitter: `base · 2^(attempt-1)`
+/// plus an FNV-derived fraction of one base unit, so concurrent
+/// collections retrying the same step don't synchronize.
+fn backoff_delay(base: Duration, attempt: u32, what: &str) -> Duration {
+    let exp = base.saturating_mul(1u32 << (attempt - 1).min(10));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in what.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    exp + base.mul_f64((h % 1000) as f64 / 1000.0)
+}
+
+/// Runs a durable-write step, retrying transient failures with bounded
+/// exponential backoff; when retries exhaust (or the error is not
+/// transient) the collection is flipped read-only (first failure keeps
+/// its reason, and the freeze is marked recoverable so the thaw probe
+/// may later undo it) and the error is returned typed. Free function so
+/// field borrows stay disjoint at call sites — `op` may borrow fields
+/// (`wal`, `io`, `dir`) the other arguments don't.
+fn retry_or_freeze<T>(
+    config: &CollectionConfig,
     health: &HealthState,
     metrics: &StoreMetrics,
     what: &str,
-    r: io::Result<T>,
+    mut op: impl FnMut() -> io::Result<T>,
 ) -> Result<T, StoreError> {
-    r.map_err(|e| {
-        if health.set_read_only(format!("{what}: {e}")) {
-            StoreMetrics::bump(&metrics.read_only_flips);
-            metrics.journal.push("read_only", format!("{what}: {e}"));
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < config.io_retry_attempts && is_transient(&e) => {
+                attempt += 1;
+                StoreMetrics::bump(&metrics.io_retries);
+                metrics
+                    .journal
+                    .push("io_retry", format!("{what}: {e} (attempt {attempt})"));
+                std::thread::sleep(backoff_delay(config.io_retry_base, attempt, what));
+            }
+            Err(e) => {
+                if health.set_read_only_recoverable(format!("{what}: {e}")) {
+                    StoreMetrics::bump(&metrics.read_only_flips);
+                    metrics.journal.push("read_only", format!("{what}: {e}"));
+                }
+                return Err(StoreError::Io(e));
+            }
         }
-        StoreError::Io(e)
-    })
+    }
 }
 
 impl Collection {
@@ -474,24 +536,52 @@ impl Collection {
     pub fn sync_wal(&mut self) -> Result<(), StoreError> {
         self.check_writable()?;
         let t0 = Instant::now();
-        freeze_on_err(&self.health, &self.metrics, "WAL fsync", self.wal.sync())?;
+        retry_or_freeze(
+            &self.config,
+            &self.health,
+            &self.metrics,
+            "WAL fsync",
+            || self.wal.sync(),
+        )?;
         StoreMetrics::bump(&self.metrics.wal_syncs);
         self.metrics.wal_sync_us.record(t0.elapsed());
         Ok(())
     }
 
-    /// Rejects mutations once the collection froze itself.
+    /// Rejects mutations once the collection froze itself — unless the
+    /// freeze was fault-induced, the thaw cooldown has elapsed, and the
+    /// recovery probe finds the write path healthy again, in which case
+    /// the collection thaws and the mutation proceeds.
     fn check_writable(&self) -> Result<(), StoreError> {
-        if self.health.is_read_only() {
-            return Err(StoreError::ReadOnly {
-                reason: self
-                    .health
-                    .report()
-                    .read_only_reason
-                    .unwrap_or_else(|| "collection was frozen".into()),
-            });
+        if !self.health.is_read_only() {
+            return Ok(());
         }
-        Ok(())
+        if self.health.thaw_probe_due(self.config.thaw_cooldown) && self.probe_write_path() {
+            if self.health.clear_read_only() {
+                StoreMetrics::bump(&self.metrics.thaws);
+                self.metrics.journal.push(
+                    "recovered",
+                    "write-path probe succeeded; thawed read-only collection".to_string(),
+                );
+            }
+            return Ok(());
+        }
+        Err(StoreError::ReadOnly {
+            reason: self
+                .health
+                .report()
+                .read_only_reason
+                .unwrap_or_else(|| "collection was frozen".into()),
+        })
+    }
+
+    /// Re-tests the write path: create, fsync, and remove a small probe
+    /// file through the same VFS the real writes use. The `.tmp` suffix
+    /// means a leftover probe (crash mid-probe) is collected by the
+    /// orphan GC on the next open.
+    fn probe_write_path(&self) -> bool {
+        let probe = self.dir.join("thaw-probe.tmp");
+        self.io.create_write(&probe, b"thaw-probe").is_ok() && self.io.remove_file(&probe).is_ok()
     }
 
     /// Publishes the current in-memory state as a fresh immutable
@@ -538,11 +628,12 @@ impl Collection {
         self.check_writable()?;
         let id = self.next_id;
         let t0 = Instant::now();
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "WAL append (insert)",
-            self.wal.append_insert(id, vector),
+            || self.wal.append_insert(id, vector),
         )?;
         StoreMetrics::bump(&self.metrics.wal_appends);
         self.metrics.wal_append_us.record(t0.elapsed());
@@ -568,11 +659,12 @@ impl Collection {
         self.check_writable()?;
         if self.memtable.contains(id) {
             let t0 = Instant::now();
-            freeze_on_err(
+            retry_or_freeze(
+                &self.config,
                 &self.health,
                 &self.metrics,
                 "WAL append (delete)",
-                self.wal.append_delete(id),
+                || self.wal.append_delete(id),
             )?;
             StoreMetrics::bump(&self.metrics.wal_appends);
             self.metrics.wal_append_us.record(t0.elapsed());
@@ -585,11 +677,12 @@ impl Collection {
             return Ok(false);
         };
         let t0 = Instant::now();
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "WAL append (delete)",
-            self.wal.append_delete(id),
+            || self.wal.append_delete(id),
         )?;
         StoreMetrics::bump(&self.metrics.wal_appends);
         self.metrics.wal_append_us.record(t0.elapsed());
@@ -653,11 +746,12 @@ impl Collection {
         );
         let mut bytes = Vec::new();
         segment.write(&mut bytes)?;
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "segment write (seal)",
-            atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
+            || atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
         )?;
 
         let mut staged = self.manifest.clone();
@@ -669,11 +763,12 @@ impl Collection {
             file: name.clone(),
             tombstones: Vec::new(),
         });
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "manifest switch (seal)",
-            staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
+            || staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
         )?;
 
         // Durable — commit, then let readers see the new segment set.
@@ -691,11 +786,12 @@ impl Collection {
         // A failed WAL reset is harmless for consistency (records below
         // the floor are skipped on replay) but freezes the collection:
         // the log can no longer be trusted to accept appends.
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "WAL reset (seal)",
-            self.wal.reset(),
+            || self.wal.reset(),
         )?;
 
         if self.config.auto_compact {
@@ -785,11 +881,12 @@ impl Collection {
             let mut bytes = Vec::new();
             segment.write(&mut bytes)?;
             bytes_out = bytes.len() as u64;
-            freeze_on_err(
+            retry_or_freeze(
+                &self.config,
                 &self.health,
                 &self.metrics,
                 "segment write (compaction)",
-                atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
+                || atomic_write(self.io.as_ref(), &self.dir.join(&name), &bytes),
             )?;
             Some(segment)
         };
@@ -811,11 +908,12 @@ impl Collection {
                 tombstones: Vec::new(),
             }))
             .collect();
-        freeze_on_err(
+        retry_or_freeze(
+            &self.config,
             &self.health,
             &self.metrics,
             "manifest switch (compaction)",
-            staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
+            || staged.store_with_io(&self.dir.join(MANIFEST_FILE), self.io.as_ref()),
         )?;
 
         // Durable — commit and publish; the merged-away segments stay

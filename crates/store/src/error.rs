@@ -72,6 +72,13 @@ pub struct HealthState {
     quarantined: AtomicU64,
     reason: Mutex<Option<String>>,
     notes: Mutex<Vec<String>>,
+    /// Whether the current freeze may self-heal: set by fault-induced
+    /// freezes (the storage may recover), cleared by operator freezes
+    /// (only the operator should unfreeze what an operator froze).
+    auto_thaw: AtomicBool,
+    /// When the recovery probe last ran (or the freeze happened) — the
+    /// cooldown clock for [`HealthState::thaw_probe_due`].
+    last_probe: Mutex<Option<std::time::Instant>>,
 }
 
 impl HealthState {
@@ -96,9 +103,67 @@ impl HealthState {
     /// this call performed the flip — callers count transitions, not
     /// repeat failures.
     pub fn set_read_only(&self, reason: impl Into<String>) -> bool {
+        let flipped = self.freeze(reason);
+        if flipped {
+            // Operator freezes are deliberate: the recovery probe must
+            // not silently undo them.
+            self.auto_thaw.store(false, Ordering::Release);
+        }
+        flipped
+    }
+
+    /// [`HealthState::set_read_only`] for fault-induced freezes: marks
+    /// the freeze eligible for automatic recovery once the write path
+    /// probes healthy again, and starts the probe cooldown clock.
+    pub fn set_read_only_recoverable(&self, reason: impl Into<String>) -> bool {
+        let flipped = self.freeze(reason);
+        if flipped {
+            self.auto_thaw.store(true, Ordering::Release);
+            if let Ok(mut t) = self.last_probe.lock() {
+                *t = Some(std::time::Instant::now());
+            }
+        }
+        flipped
+    }
+
+    fn freeze(&self, reason: impl Into<String>) -> bool {
         if !self.read_only.swap(true, Ordering::AcqRel) {
             if let Ok(mut r) = self.reason.lock() {
                 r.get_or_insert(reason.into());
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Whether a recovery probe should run now: the collection is frozen
+    /// by a fault (not an operator), and `cooldown` has elapsed since the
+    /// freeze or the last probe. A `true` return *consumes* the slot —
+    /// the cooldown clock restarts — so probes can't stampede.
+    pub fn thaw_probe_due(&self, cooldown: std::time::Duration) -> bool {
+        if !self.is_read_only() || !self.auto_thaw.load(Ordering::Acquire) {
+            return false;
+        }
+        let Ok(mut t) = self.last_probe.lock() else {
+            return false;
+        };
+        let now = std::time::Instant::now();
+        let due = t.is_none_or(|last| now.duration_since(last) >= cooldown);
+        if due {
+            *t = Some(now);
+        }
+        due
+    }
+
+    /// Thaws a read-only collection after its write path re-tested
+    /// healthy: clears the flag and the stored reason. Returns whether
+    /// this call performed the transition (mirroring
+    /// [`HealthState::set_read_only`]), so callers count thaws rather
+    /// than repeat probes.
+    pub fn clear_read_only(&self) -> bool {
+        if self.read_only.swap(false, Ordering::AcqRel) {
+            if let Ok(mut r) = self.reason.lock() {
+                *r = None;
             }
             return true;
         }
@@ -178,6 +243,24 @@ mod tests {
     }
 
     #[test]
+    fn thaw_clears_flag_and_reason_and_counts_transitions() {
+        let h = HealthState::new();
+        assert!(!h.clear_read_only(), "thawing a healthy state is a no-op");
+        h.set_read_only("transient EIO");
+        assert!(h.clear_read_only(), "first thaw performs the transition");
+        assert!(!h.clear_read_only(), "repeat thaws don't");
+        let report = h.report();
+        assert!(!report.read_only);
+        assert_eq!(report.read_only_reason, None);
+        // A later freeze records its own (new) reason.
+        h.set_read_only("second failure");
+        assert_eq!(
+            h.report().read_only_reason.as_deref(),
+            Some("second failure")
+        );
+    }
+
+    #[test]
     fn quarantine_marks_degraded_and_counts() {
         let h = HealthState::new();
         assert!(h.report().is_healthy());
@@ -189,6 +272,32 @@ mod tests {
         assert_eq!(report.quarantined_segments, 2);
         assert_eq!(report.notes.len(), 2);
         assert!(!report.is_healthy());
+    }
+
+    #[test]
+    fn thaw_probe_gating() {
+        use std::time::Duration;
+        let h = HealthState::new();
+        assert!(
+            !h.thaw_probe_due(Duration::ZERO),
+            "healthy: nothing to probe"
+        );
+        h.set_read_only("maintenance window");
+        assert!(
+            !h.thaw_probe_due(Duration::ZERO),
+            "operator freezes never auto-probe"
+        );
+        h.clear_read_only();
+        h.set_read_only_recoverable("transient EIO");
+        assert!(
+            !h.thaw_probe_due(Duration::from_secs(3600)),
+            "cooldown has not elapsed since the freeze"
+        );
+        assert!(h.thaw_probe_due(Duration::ZERO), "due once cooldown passes");
+        assert!(
+            !h.thaw_probe_due(Duration::from_secs(3600)),
+            "a granted probe restarts the cooldown clock"
+        );
     }
 
     #[test]

@@ -206,18 +206,46 @@ pub enum FaultKind {
     FailSync,
 }
 
-/// One scripted fault: `kind` fires at the `fault_at`-th I/O operation
-/// (0-based, counted across the whole [`FaultIo`]); with `crash` set,
-/// every subsequent operation also fails with `EIO`, simulating the
-/// process dying at that exact point (the crash-matrix mode).
+/// One scripted fault: `kind` fires for `fault_count` consecutive I/O
+/// operations starting at the `fault_at`-th (0-based, counted across the
+/// whole [`FaultIo`]); with `crash` set, every operation after the window
+/// also fails with `EIO`, simulating the process dying at that exact
+/// point (the crash-matrix mode). A window with `crash: false` models a
+/// *transient* failure — the storage misbehaves for a bounded stretch and
+/// then heals — which is what the retry/auto-thaw tests script.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultScript {
-    /// 0-based index of the operation to fault.
+    /// 0-based index of the first operation to fault.
     pub fault_at: u64,
+    /// How many consecutive operations fault (1 = the classic one-shot).
+    pub fault_count: u64,
     /// The failure mode injected there.
     pub kind: FaultKind,
-    /// Whether all later operations fail too (simulated crash).
+    /// Whether all operations after the window fail too (simulated crash).
     pub crash: bool,
+}
+
+impl FaultScript {
+    /// The classic one-shot script: a single fault at `fault_at`.
+    pub fn once(fault_at: u64, kind: FaultKind, crash: bool) -> Self {
+        Self {
+            fault_at,
+            fault_count: 1,
+            kind,
+            crash,
+        }
+    }
+
+    /// A transient-then-healthy script: `kind` for `fault_count` ops
+    /// starting at `fault_at`, then the storage heals (never crashes).
+    pub fn transient(fault_at: u64, fault_count: u64, kind: FaultKind) -> Self {
+        Self {
+            fault_at,
+            fault_count,
+            kind,
+            crash: false,
+        }
+    }
 }
 
 enum Fault {
@@ -247,10 +275,11 @@ impl FaultState {
         let Some(script) = self.script else {
             return Ok(());
         };
-        if script.crash && idx > script.fault_at {
+        let window_end = script.fault_at.saturating_add(script.fault_count.max(1));
+        if script.crash && idx >= window_end {
             return Err(Fault::Error(eio("injected crash: process is gone")));
         }
-        if idx != script.fault_at {
+        if idx < script.fault_at || idx >= window_end {
             return Ok(());
         }
         Err(match script.kind {
@@ -491,14 +520,7 @@ mod tests {
     fn torn_write_persists_a_prefix_and_errors() {
         let dir = tmp_dir("torn");
         let path = dir.join("file.bin");
-        let io = FaultIo::scripted(
-            disk_io(),
-            FaultScript {
-                fault_at: 0,
-                kind: FaultKind::TornWrite,
-                crash: false,
-            },
-        );
+        let io = FaultIo::scripted(disk_io(), FaultScript::once(0, FaultKind::TornWrite, false));
         assert!(io.create_write(&path, b"0123456789").is_err());
         // Half the bytes made it — the torn-write signature.
         assert_eq!(std::fs::read(&path).unwrap(), b"01234");
@@ -512,14 +534,7 @@ mod tests {
     fn crash_mode_fails_everything_after_the_fault() {
         let dir = tmp_dir("crash");
         let path = dir.join("file.bin");
-        let io = FaultIo::scripted(
-            disk_io(),
-            FaultScript {
-                fault_at: 1,
-                kind: FaultKind::Enospc,
-                crash: true,
-            },
-        );
+        let io = FaultIo::scripted(disk_io(), FaultScript::once(1, FaultKind::Enospc, true));
         io.create_write(&path, b"pre-fault").unwrap();
         let err = io.create_write(&path, b"fails").unwrap_err();
         assert_eq!(err.raw_os_error(), Some(28)); // ENOSPC
@@ -527,6 +542,20 @@ mod tests {
         assert!(io.rename(&path, &dir.join("x")).is_err());
         assert_eq!(io.ops(), 4);
         assert_eq!(io.op_log().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_window_faults_then_heals() {
+        let dir = tmp_dir("transient");
+        let path = dir.join("file.bin");
+        let io = FaultIo::scripted(disk_io(), FaultScript::transient(1, 2, FaultKind::Eio));
+        io.create_write(&path, b"a").unwrap(); // op 0: clean
+        let err = io.create_write(&path, b"b").unwrap_err(); // op 1: faulted
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(io.read(&path).is_err()); // op 2: still inside the window
+        io.create_write(&path, b"c").unwrap(); // op 3: healed
+        assert_eq!(std::fs::read(&path).unwrap(), b"c");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,6 +76,7 @@ pub use memtable::Memtable;
 pub use memview::MemView;
 pub use observe::StoreMetrics;
 pub use pool::WorkerPool;
+pub use rabitq_ivf::CancelToken;
 pub use segment::Segment;
-pub use snapshot::{CollectionReader, ParallelOptions, Snapshot};
+pub use snapshot::{CollectionReader, ParallelOptions, SearchOutcome, Snapshot};
 pub use wal::{Wal, WalRecord, WalReplay};

@@ -46,6 +46,10 @@ pub struct StoreMetrics {
     pub quarantines: AtomicU64,
     /// Healthy → read-only transitions (not repeat failures).
     pub read_only_flips: AtomicU64,
+    /// Write-path retries of transient I/O errors (each backoff attempt).
+    pub io_retries: AtomicU64,
+    /// Read-only → writable recoveries performed by the thaw probe.
+    pub thaws: AtomicU64,
     /// Snapshots published (one per committed mutation batch).
     pub publishes: AtomicU64,
     /// Recent structured events (seals, compactions, quarantines,

@@ -20,7 +20,7 @@
 use crate::io::{DiskIo, StorageIo};
 use rabitq_core::persist as p;
 use rabitq_core::RabitqConfig;
-use rabitq_ivf::{IvfConfig, IvfRabitq, RerankStrategy, SearchResult, SearchScratch};
+use rabitq_ivf::{CancelToken, IvfConfig, IvfRabitq, RerankStrategy, SearchResult, SearchScratch};
 use rand::Rng;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -272,6 +272,35 @@ impl Segment {
             entry.0 = self.ids[entry.0 as usize];
         }
         counts
+    }
+
+    /// [`Segment::search_into`] with cooperative cancellation: the token
+    /// is polled at every probed-bucket boundary inside the index scan.
+    /// Returns `None` (with `scratch.neighbors` cleared) if the token
+    /// cancelled before the scan finished; a completed scan is
+    /// bit-identical to the uncancelled path under the same RNG stream.
+    pub fn search_into_cancellable<R: Rng + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        scratch: &mut SearchScratch,
+        rng: &mut R,
+        cancel: &CancelToken,
+    ) -> Option<(usize, usize)> {
+        let counts = self.index.search_into_cancellable(
+            query,
+            k,
+            nprobe,
+            RerankStrategy::ErrorBound,
+            scratch,
+            rng,
+            cancel,
+        )?;
+        for entry in &mut scratch.neighbors {
+            entry.0 = self.ids[entry.0 as usize];
+        }
+        Some(counts)
     }
 }
 

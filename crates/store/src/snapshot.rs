@@ -42,7 +42,7 @@ use crate::memview::MemView;
 use crate::observe::StoreMetrics;
 use crate::pool::WorkerPool;
 use crate::segment::Segment;
-use rabitq_ivf::{SearchResult, SearchScratch, TopK};
+use rabitq_ivf::{CancelToken, SearchResult, SearchScratch, TopK};
 use rabitq_metrics::{Stage, StageNanos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -123,6 +123,35 @@ impl ParallelOptions {
         Self {
             threads,
             ..Self::default()
+        }
+    }
+}
+
+/// How one query of a cancellable batch ended: with a result, or
+/// abandoned at a cancellation checkpoint. Cancellation is per query —
+/// one expired deadline never poisons its batchmates, whose outcomes
+/// (and bits) are identical to an all-healthy batch thanks to the
+/// per-(query, segment) RNG seeding.
+#[derive(Debug)]
+pub enum SearchOutcome {
+    /// The query ran to completion.
+    Done(SearchResult),
+    /// The query's token cancelled mid-scan; partial candidates were
+    /// discarded (never returned).
+    Cancelled,
+}
+
+impl SearchOutcome {
+    /// Whether this query was abandoned.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SearchOutcome::Cancelled)
+    }
+
+    /// The completed result, if any.
+    pub fn into_result(self) -> Option<SearchResult> {
+        match self {
+            SearchOutcome::Done(res) => Some(res),
+            SearchOutcome::Cancelled => None,
         }
     }
 }
@@ -251,7 +280,63 @@ impl Snapshot {
             });
             slots.into_results()
         };
+        self.merge_per_segment(query, k, &mut per_segment)
+    }
 
+    /// [`Snapshot::search_parallel`] with cooperative cancellation: every
+    /// per-segment task (running on pool workers) polls the token at its
+    /// probed-bucket boundaries and bails individually. Returns
+    /// [`SearchOutcome::Cancelled`] if any segment scan was abandoned — a
+    /// single query is all-or-nothing. A completed query is bit-identical
+    /// to [`Snapshot::search_parallel`] with the same seed.
+    pub fn search_parallel_cancellable(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        opts: ParallelOptions,
+        cancel: &CancelToken,
+    ) -> SearchOutcome {
+        assert_eq!(query.len(), self.dim, "query dimensionality");
+        let n_segments = self.segments.len();
+        let threads = opts.threads.max(1).min(n_segments.max(1));
+        let per_segment: Vec<Option<SearchResult>> = if threads <= 1 || n_segments <= 1 {
+            (0..n_segments)
+                .map(|si| {
+                    self.search_segment_seeded_cancellable(
+                        si, 0, query, k, nprobe, opts.seed, cancel,
+                    )
+                })
+                .collect()
+        } else {
+            let slots = ResultSlots::new(n_segments);
+            WorkerPool::global().run(n_segments, threads - 1, |si| {
+                let res = self
+                    .search_segment_seeded_cancellable(si, 0, query, k, nprobe, opts.seed, cancel);
+                // SAFETY: the pool claims each `si` exactly once.
+                unsafe { slots.put(si, res) };
+            });
+            slots.into_results()
+        };
+        let mut done = Vec::with_capacity(per_segment.len());
+        for res in per_segment {
+            match res {
+                Some(res) => done.push(res),
+                None => return SearchOutcome::Cancelled,
+            }
+        }
+        SearchOutcome::Done(self.merge_per_segment(query, k, &mut done))
+    }
+
+    /// Merges per-segment results (plus the memtable scan) into one
+    /// [`SearchResult`], in segment order — the deterministic tail shared
+    /// by every parallel path.
+    fn merge_per_segment(
+        &self,
+        query: &[f32],
+        k: usize,
+        per_segment: &mut [SearchResult],
+    ) -> SearchResult {
         let mut top = TopK::new(k);
         let mut stages = StageNanos::new();
         let mut n_estimated = 0usize;
@@ -260,7 +345,7 @@ impl Snapshot {
             let t0 = Instant::now();
             n_reranked += self.memtable.scan_into(query, &mut top);
             stages.add_ns(Stage::Rerank, ns_since(t0));
-            for res in &mut per_segment {
+            for res in per_segment.iter() {
                 stages.merge(&res.stages);
                 n_estimated += res.n_estimated;
                 n_reranked += res.n_reranked;
@@ -326,6 +411,69 @@ impl Snapshot {
         slots.into_results()
     }
 
+    /// [`Snapshot::search_many`] with per-query cooperative cancellation:
+    /// `tokens[qi]` guards query `qi` alone. A query whose token cancels
+    /// (deadline passed, client gone) bails at the next probed-bucket or
+    /// segment boundary and yields [`SearchOutcome::Cancelled`]; its
+    /// batchmates are untouched — their results are bit-identical to an
+    /// all-healthy [`Snapshot::search_many`] run with the same seed,
+    /// because every (query, segment) task derives its own RNG.
+    pub fn search_many_cancellable(
+        &self,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        opts: ParallelOptions,
+        tokens: &[CancelToken],
+    ) -> Vec<SearchOutcome> {
+        assert!(
+            queries.len().is_multiple_of(self.dim),
+            "queries buffer must be n × dim"
+        );
+        let n = queries.len() / self.dim;
+        assert_eq!(tokens.len(), n, "one token per query");
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = opts.threads.max(1).min(n);
+        if threads <= 1 {
+            return SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                (0..n)
+                    .map(|qi| {
+                        self.search_one_outcome(
+                            qi,
+                            queries,
+                            k,
+                            nprobe,
+                            opts.seed,
+                            &mut scratch,
+                            &tokens[qi],
+                        )
+                    })
+                    .collect()
+            });
+        }
+        let slots = ResultSlots::new(n);
+        WorkerPool::global().run(n, threads - 1, |qi| {
+            let res = SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                self.search_one_outcome(
+                    qi,
+                    queries,
+                    k,
+                    nprobe,
+                    opts.seed,
+                    &mut scratch,
+                    &tokens[qi],
+                )
+            });
+            // SAFETY: the pool claims each `qi` exactly once.
+            unsafe { slots.put(qi, res) };
+        });
+        slots.into_results()
+    }
+
     /// Full fan-out for query `qi` with deterministic per-segment RNGs.
     fn search_one_seeded(
         &self,
@@ -336,18 +484,67 @@ impl Snapshot {
         seed: u64,
         scratch: &mut SearchScratch,
     ) -> SearchResult {
+        self.search_one_seeded_cancellable(
+            qi,
+            queries,
+            k,
+            nprobe,
+            seed,
+            scratch,
+            &CancelToken::none(),
+        )
+        .expect("a never-cancelling token cannot cancel")
+    }
+
+    /// [`Snapshot::search_one_seeded`] as a [`SearchOutcome`].
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_outcome(
+        &self,
+        qi: usize,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        seed: u64,
+        scratch: &mut SearchScratch,
+        cancel: &CancelToken,
+    ) -> SearchOutcome {
+        match self.search_one_seeded_cancellable(qi, queries, k, nprobe, seed, scratch, cancel) {
+            Some(res) => SearchOutcome::Done(res),
+            None => SearchOutcome::Cancelled,
+        }
+    }
+
+    /// The cancellable fan-out core: polls the token before the memtable
+    /// scan and (via [`Segment::search_into_cancellable`]) at every
+    /// probed-bucket boundary within each segment. `None` means the query
+    /// was abandoned; nothing partial is returned.
+    #[allow(clippy::too_many_arguments)]
+    fn search_one_seeded_cancellable(
+        &self,
+        qi: usize,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        seed: u64,
+        scratch: &mut SearchScratch,
+        cancel: &CancelToken,
+    ) -> Option<SearchResult> {
         let query = &queries[qi * self.dim..(qi + 1) * self.dim];
         let mut top = TopK::new(k);
         let mut stages = StageNanos::new();
         let mut n_estimated = 0usize;
         let mut n_reranked = 0usize;
         if k > 0 {
+            if cancel.is_cancelled() {
+                return None;
+            }
             let t0 = Instant::now();
             n_reranked += self.memtable.scan_into(query, &mut top);
             stages.add_ns(Stage::Rerank, ns_since(t0));
             for (si, segment) in self.segments.iter().enumerate() {
                 let mut rng = StdRng::seed_from_u64(task_seed(seed, qi, si));
-                let (e, r) = segment.search_into(query, k, nprobe, scratch, &mut rng);
+                let (e, r) =
+                    segment.search_into_cancellable(query, k, nprobe, scratch, &mut rng, cancel)?;
                 stages.merge(&scratch.stages);
                 n_estimated += e;
                 n_reranked += r;
@@ -359,12 +556,12 @@ impl Snapshot {
         let t0 = Instant::now();
         let neighbors = top.into_sorted();
         stages.add_ns(Stage::Merge, ns_since(t0));
-        SearchResult {
+        Some(SearchResult {
             neighbors,
             n_estimated,
             n_reranked,
             stages,
-        }
+        })
     }
 
     /// Scans one segment for query index `qi` under the derived task seed.
@@ -379,6 +576,39 @@ impl Snapshot {
     ) -> SearchResult {
         let mut rng = StdRng::seed_from_u64(task_seed(seed, qi, si));
         self.segments[si].search(query, k, nprobe, &mut rng)
+    }
+
+    /// [`Snapshot::search_segment_seeded`] with cancellation checkpoints;
+    /// `None` means the token cancelled mid-scan.
+    #[allow(clippy::too_many_arguments)]
+    fn search_segment_seeded_cancellable(
+        &self,
+        si: usize,
+        qi: usize,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Option<SearchResult> {
+        let mut rng = StdRng::seed_from_u64(task_seed(seed, qi, si));
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let (n_estimated, n_reranked) = self.segments[si].search_into_cancellable(
+                query,
+                k,
+                nprobe,
+                &mut scratch,
+                &mut rng,
+                cancel,
+            )?;
+            Some(SearchResult {
+                neighbors: scratch.neighbors.clone(),
+                n_estimated,
+                n_reranked,
+                stages: scratch.stages,
+            })
+        })
     }
 }
 
@@ -489,6 +719,20 @@ impl CollectionReader {
         opts: ParallelOptions,
     ) -> Vec<SearchResult> {
         self.snapshot().search_many(queries, k, nprobe, opts)
+    }
+
+    /// Cancellable batch search over the latest snapshot (see
+    /// [`Snapshot::search_many_cancellable`]).
+    pub fn search_many_cancellable(
+        &self,
+        queries: &[f32],
+        k: usize,
+        nprobe: usize,
+        opts: ParallelOptions,
+        tokens: &[CancelToken],
+    ) -> Vec<SearchOutcome> {
+        self.snapshot()
+            .search_many_cancellable(queries, k, nprobe, opts, tokens)
     }
 }
 

@@ -179,11 +179,7 @@ fn crash_matrix_preserves_acked_state_at_every_fault_point() {
         let dir = base.join(format!("cell-{fault_at}"));
         let io = Arc::new(FaultIo::scripted(
             disk_io(),
-            FaultScript {
-                fault_at,
-                kind,
-                crash: true,
-            },
+            FaultScript::once(fault_at, kind, true),
         ));
         let acked = run_workload(&dir, io.clone());
         verify_recovery(&dir, &acked, &cell);
@@ -263,13 +259,12 @@ fn write_path_fault_flips_read_only_but_searches_continue() {
     std::fs::remove_dir_all(&probe_dir).ok();
 
     let dir = test_dir("readonly");
+    // A *persistent* (not transient) failure window: long enough that
+    // the bounded retry gives up and the collection freezes. A one-shot
+    // fault would be absorbed by the retry and never flip read-only.
     let io = Arc::new(FaultIo::scripted(
         disk_io(),
-        FaultScript {
-            fault_at: open_ops,
-            kind: FaultKind::Enospc,
-            crash: false, // the disk stays up; only this one op fails
-        },
+        FaultScript::transient(open_ops, 1_000, FaultKind::Enospc),
     ));
     let mut collection = Collection::open_with_io(&dir, small_config(), io).unwrap();
     let err = collection.insert(&vector_for(0)).unwrap_err();
@@ -374,11 +369,7 @@ fn faults_during_torn_tail_repair_stay_recoverable() {
         clone_template(&dir);
         let io = Arc::new(FaultIo::scripted(
             disk_io(),
-            FaultScript {
-                fault_at,
-                kind: FaultKind::Eio,
-                crash: true,
-            },
+            FaultScript::once(fault_at, FaultKind::Eio, true),
         ));
         let mut config = small_config();
         config.memtable_capacity = 100;
